@@ -1,0 +1,53 @@
+//! Experiments E5 (part 2) and E7: LIS throughput — patience sorting vs the seaweed
+//! kernel construction — and semi-local window-query throughput (Corollary 1.3.2).
+
+use bench_suite::{noisy_trend, random_permutation};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::prelude::*;
+use seaweed_lis::baselines::lis_length_patience;
+use seaweed_lis::lis::{lis_kernel, SemiLocalLis};
+
+fn bench_lis_length(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lis_length");
+    group.sample_size(10);
+    for &n in &[1usize << 12, 1 << 14] {
+        let seq = noisy_trend(n, (n / 4) as u32, 5);
+        group.bench_with_input(BenchmarkId::new("patience", n), &n, |bench, _| {
+            bench.iter(|| lis_length_patience(&seq))
+        });
+        group.bench_with_input(BenchmarkId::new("seaweed_kernel", n), &n, |bench, _| {
+            bench.iter(|| lis_kernel(&seq).lcs_window(0, n))
+        });
+    }
+    group.finish();
+}
+
+fn bench_semi_local_queries(c: &mut Criterion) {
+    let mut group = c.benchmark_group("semi_local_lis");
+    group.sample_size(10);
+    let n = 1usize << 14;
+    let perm = random_permutation(n, 9);
+    let index = SemiLocalLis::new(perm.rows());
+    let mut rng = StdRng::seed_from_u64(10);
+    let windows: Vec<(usize, usize)> = (0..1000)
+        .map(|_| {
+            let l = rng.gen_range(0..n);
+            (l, rng.gen_range(l..=n))
+        })
+        .collect();
+    group.bench_function("1000_window_queries", |bench| {
+        bench.iter(|| {
+            windows
+                .iter()
+                .map(|&(l, r)| index.lis_window(l, r))
+                .sum::<usize>()
+        })
+    });
+    group.bench_function("build_index_n16k", |bench| {
+        bench.iter(|| SemiLocalLis::new(perm.rows()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_lis_length, bench_semi_local_queries);
+criterion_main!(benches);

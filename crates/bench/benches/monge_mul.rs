@@ -1,0 +1,43 @@
+//! Experiment E5 (part 1): sequential throughput of the implicit unit-Monge
+//! multiplication engines — the O(n³) dense reference, the O(n log n) steady ant and
+//! the H-way combine — showing where the asymptotically better algorithms take over.
+
+use bench_suite::random_permutation;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use monge::multiway::mul_multiway;
+use monge::{mul_dense, mul_steady_ant};
+
+fn bench_dense_vs_ant(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mul_small");
+    group.sample_size(20);
+    for &n in &[64usize, 128, 256] {
+        let a = random_permutation(n, 1);
+        let b = random_permutation(n, 2);
+        group.bench_with_input(BenchmarkId::new("dense", n), &n, |bench, _| {
+            bench.iter(|| mul_dense(&a, &b))
+        });
+        group.bench_with_input(BenchmarkId::new("steady_ant", n), &n, |bench, _| {
+            bench.iter(|| mul_steady_ant(&a, &b))
+        });
+    }
+    group.finish();
+}
+
+fn bench_ant_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mul_large");
+    group.sample_size(10);
+    for &n in &[1usize << 12, 1 << 14, 1 << 16] {
+        let a = random_permutation(n, 3);
+        let b = random_permutation(n, 4);
+        group.bench_with_input(BenchmarkId::new("steady_ant", n), &n, |bench, _| {
+            bench.iter(|| mul_steady_ant(&a, &b))
+        });
+        group.bench_with_input(BenchmarkId::new("multiway_h8", n), &n, |bench, _| {
+            bench.iter(|| mul_multiway(&a, &b, 8, 1 << 8))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dense_vs_ant, bench_ant_scaling);
+criterion_main!(benches);

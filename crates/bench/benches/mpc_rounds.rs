@@ -1,0 +1,42 @@
+//! Wall-clock cost of the *simulated* MPC executions (the round counts themselves
+//! are measured by the experiment binaries; this bench tracks how expensive the
+//! simulation is so regressions in the runtime are caught).
+
+use bench_suite::{noisy_trend, random_permutation};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lis_mpc::lis_length_mpc;
+use monge_mpc::MulParams;
+use mpc_runtime::{Cluster, MpcConfig};
+
+fn bench_mpc_mul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mpc_mul_simulation");
+    group.sample_size(10);
+    for &n in &[1usize << 12, 1 << 14] {
+        let a = random_permutation(n, 21);
+        let b = random_permutation(n, 22);
+        group.bench_with_input(BenchmarkId::new("delta_0.5", n), &n, |bench, _| {
+            bench.iter(|| {
+                let mut cluster = Cluster::new(MpcConfig::new(n, 0.5));
+                monge_mpc::mul(&mut cluster, &a, &b, &MulParams::default())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_mpc_lis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mpc_lis_simulation");
+    group.sample_size(10);
+    let n = 1usize << 12;
+    let seq = noisy_trend(n, (n / 4) as u32, 23);
+    group.bench_function(BenchmarkId::new("delta_0.5", n), |bench| {
+        bench.iter(|| {
+            let mut cluster = Cluster::new(MpcConfig::new(n, 0.5));
+            lis_length_mpc(&mut cluster, &seq, &MulParams::default())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_mpc_mul, bench_mpc_lis);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Experiment E2 — Theorem 1.1 headline: the round count of one implicit unit-Monge
+//! multiplication is flat in `n` (for the paper's parameters) and compares against
+//! the §1.4 warmup baseline whose recursion depth — and hence round count — grows
+//! with `log n`.
+//!
+//! Run with: `cargo run --release -p bench-suite --bin exp_mul_rounds`
+
+use bench_suite::{random_permutation, Table};
+use monge_mpc::MulParams;
+use mpc_runtime::{Cluster, MpcConfig};
+
+fn measure(n: usize, delta: f64, params: &MulParams) -> (u64, u64, usize) {
+    let a = random_permutation(n, 1000 + n as u64);
+    let b = random_permutation(n, 2000 + n as u64);
+    let mut cluster = Cluster::new(MpcConfig::new(n, delta));
+    let _ = monge_mpc::mul(&mut cluster, &a, &b, params);
+    let l = cluster.ledger();
+    (l.rounds, l.communication, l.max_machine_load)
+}
+
+fn main() {
+    println!("E2: rounds of one ⊡ multiplication vs n and δ\n");
+    println!(
+        "(\"paper\" rows use H = 8 — at these sizes the asymptotic n^{{(1-δ)/10}} is still ≈ 2 —\n\
+         the warmup baseline keeps the binary splits of §1.4.)\n"
+    );
+    let mut table = Table::new(vec![
+        "δ", "n", "rounds (paper, H=8)", "rounds (warmup H=2)", "comm (paper)", "peak load",
+    ]);
+    let paper = MulParams::default().with_h(8);
+    for &delta in &[0.25, 0.5, 0.75] {
+        // δ = 0.75 shrinks the grid spacing to n^{1/4}; cap n there to keep the
+        // simulation wall-clock reasonable.
+        let sizes: &[usize] = if delta < 0.7 {
+            &[1 << 12, 1 << 14, 1 << 16]
+        } else {
+            &[1 << 12, 1 << 14]
+        };
+        for &n in sizes {
+            let (rounds, comm, load) = measure(n, delta, &paper);
+            let (warmup_rounds, _, _) = measure(n, delta, &MulParams::warmup());
+            table.row(vec![
+                format!("{delta}"),
+                n.to_string(),
+                rounds.to_string(),
+                warmup_rounds.to_string(),
+                comm.to_string(),
+                load.to_string(),
+            ]);
+        }
+    }
+    println!("{}", table.render());
+    println!(
+        "Reading: for fixed δ the H = 8 rounds stay (near-)constant as n grows 16×, because the\n\
+         recursion depth log_H(n/s) barely moves; the warmup baseline's depth — and with it the\n\
+         round count — grows with log n. This is the Theorem 1.1 vs §1.4 gap."
+    );
+}

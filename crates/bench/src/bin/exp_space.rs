@@ -1,0 +1,67 @@
+//! Experiment E3 — fully-scalable space behaviour: per-machine peak load and
+//! communication against the `s = Õ(n^{1−δ})` budget as δ varies, for both the
+//! multiplication (Theorem 1.1) and LIS (Theorem 1.3).
+//!
+//! The run also reports the number of supersteps in which the documented
+//! engineering deviations (reference grid phase gather, factor-H routing; see
+//! DESIGN.md §3) exceeded the budget.
+//!
+//! Run with: `cargo run --release -p bench-suite --bin exp_space`
+
+use bench_suite::{noisy_trend, random_permutation, Table};
+use lis_mpc::lis_length_mpc;
+use monge_mpc::MulParams;
+use mpc_runtime::{Cluster, MpcConfig};
+
+fn main() {
+    let n = 1usize << 14;
+    println!("E3: space profile at n = {n}\n");
+    let mut table = Table::new(vec![
+        "workload", "δ", "machines", "budget s", "peak load", "peak/s", "violations", "comm/n",
+    ]);
+
+    for &delta in &[0.25, 0.4, 0.5, 0.6, 0.75] {
+        // Multiplication.
+        let a = random_permutation(n, 1);
+        let b = random_permutation(n, 2);
+        let mut cluster = Cluster::new(MpcConfig::new(n, delta));
+        let _ = monge_mpc::mul(&mut cluster, &a, &b, &MulParams::default());
+        let l = cluster.ledger();
+        let cfg = cluster.config();
+        table.row(vec![
+            "⊡ (Thm 1.1)".to_string(),
+            format!("{delta}"),
+            cfg.machines.to_string(),
+            cfg.space.to_string(),
+            l.max_machine_load.to_string(),
+            format!("{:.2}", l.max_machine_load as f64 / cfg.space as f64),
+            l.space_violations.to_string(),
+            format!("{:.1}", l.communication as f64 / n as f64),
+        ]);
+
+        // LIS.
+        let seq = noisy_trend(n, (n / 8) as u32, 3);
+        let mut cluster = Cluster::new(MpcConfig::new(n, delta));
+        let _ = lis_length_mpc(&mut cluster, &seq, &MulParams::default());
+        let l = cluster.ledger();
+        let cfg = cluster.config();
+        table.row(vec![
+            "LIS (Thm 1.3)".to_string(),
+            format!("{delta}"),
+            cfg.machines.to_string(),
+            cfg.space.to_string(),
+            l.max_machine_load.to_string(),
+            format!("{:.2}", l.max_machine_load as f64 / cfg.space as f64),
+            l.space_violations.to_string(),
+            format!("{:.1}", l.communication as f64 / n as f64),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "Reading: the per-machine budget shrinks as δ grows while the machine count grows. The\n\
+         peak-load excesses and the recorded violations come from the two documented deviations\n\
+         of DESIGN.md §3 — the reference grid-phase gather (peak ≈ instance size) and the\n\
+         factor-H routing relaxation — and from the larger recursion depth at high δ, which also\n\
+         multiplies the communication volume. δ ≤ 0.4 stays within budget end to end."
+    );
+}

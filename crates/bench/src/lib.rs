@@ -1,0 +1,104 @@
+//! Shared helpers for the benchmark and experiment harness: deterministic workload
+//! generators and plain-text table formatting used by the experiment binaries.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use monge::PermutationMatrix;
+use rand::prelude::*;
+
+/// Deterministic random permutation of `0..n`.
+pub fn random_permutation(n: usize, seed: u64) -> PermutationMatrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut v: Vec<u32> = (0..n as u32).collect();
+    v.shuffle(&mut rng);
+    PermutationMatrix::from_rows(v)
+}
+
+/// Deterministic random sequence with duplicates drawn from `0..alphabet`.
+pub fn random_sequence(n: usize, alphabet: u32, seed: u64) -> Vec<u32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen_range(0..alphabet)).collect()
+}
+
+/// A noisy monotone series (LIS ≈ fraction of n), the workload used by the LIS
+/// experiments so the answers are non-trivial in both directions.
+pub fn noisy_trend(n: usize, noise: u32, seed: u64) -> Vec<u32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| i as u32 + rng.gen_range(0..noise.max(1)))
+        .collect()
+}
+
+/// Simple fixed-width table printer for the experiment binaries.
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        Self {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row (stringified cells).
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}", w = w))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generators_are_deterministic() {
+        assert_eq!(random_permutation(100, 7), random_permutation(100, 7));
+        assert_eq!(random_sequence(50, 10, 3), random_sequence(50, 10, 3));
+        assert_eq!(noisy_trend(50, 10, 3), noisy_trend(50, 10, 3));
+    }
+
+    #[test]
+    fn table_renders_aligned_rows() {
+        let mut t = Table::new(vec!["algo", "rounds"]);
+        t.row(vec!["ours", "42"]);
+        t.row(vec!["warmup", "130"]);
+        let rendered = t.render();
+        assert!(rendered.contains("ours"));
+        assert!(rendered.lines().count() == 4);
+    }
+}

@@ -1,0 +1,22 @@
+//! Massively-parallel LIS and LCS on top of the MPC unit-Monge multiplication.
+//!
+//! * [`lis`] — Theorem 1.3: the exact length of the longest increasing subsequence in
+//!   `O(log n)` fully-scalable MPC rounds (and, as a by-product, the full semi-local
+//!   LIS kernel — Corollary 1.3.2).
+//! * [`lcs`] — Corollary 1.3.1: the exact LCS length via the Hunt–Szymanski
+//!   reduction to LIS, assuming the Õ(n²)-total-space regime of the corollary.
+//!
+//! The divide and conquer follows §4.2 of the paper (and Theorem 1.2 of CHS23 that it
+//! references): the sequence is cut into blocks, each block's seaweed kernel is
+//! computed locally, and adjacent kernels are merged level by level — every level
+//! costs `O(1)` rounds (relabelling by sorting plus one batched `⊡`), and there are
+//! `O(log n)` levels.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod lcs;
+pub mod lis;
+
+pub use lcs::lcs_length_mpc;
+pub use lis::{lis_kernel_mpc, lis_length_mpc, MpcLisOutcome};

@@ -1,0 +1,304 @@
+//! Theorem 1.3: exact LIS length in `O(log n)` fully-scalable MPC rounds.
+//!
+//! Level-by-level divide and conquer over the positions of the input sequence:
+//!
+//! 1. **Rank** the input (one `O(1)`-round sort): strictly increasing subsequences of
+//!    the original sequence correspond exactly to increasing subsequences of the rank
+//!    permutation (ties broken by descending position).
+//! 2. **Base blocks**: the sequence is cut into blocks that fit into one machine's
+//!    space; each machine combs the seaweed kernel of its block locally (one
+//!    `group_map`).
+//! 3. **Merge levels**: adjacent blocks are merged pairwise. Per level, every pair is
+//!    relabelled to the union of its value sets (inflation — `O(1)` rounds of index
+//!    arithmetic) and the two kernels are composed with one *batched* MPC unit-Monge
+//!    multiplication (`monge_mpc::mul_batch`). The level count is `⌈log₂(n / B)⌉`,
+//!    hence `O(log n)` rounds in total.
+//!
+//! The final kernel answers every semi-local (window) LIS query; the global LIS
+//! length is read off the full window.
+
+use monge_mpc::MulParams;
+use mpc_runtime::{costs, Cluster};
+use seaweed_lis::kernel::{compose_from_product, compose_operands, SeaweedKernel};
+use seaweed_lis::lis::{lis_kernel_permutation, rank_sequence};
+
+/// Result of the MPC LIS computation.
+#[derive(Clone, Debug)]
+pub struct MpcLisOutcome {
+    /// Length of the longest strictly increasing subsequence.
+    pub length: usize,
+    /// The semi-local seaweed kernel of the whole sequence (Corollary 1.3.2): window
+    /// queries `LIS(A[l..r))` are answered by [`SeaweedKernel::lcs_window`] /
+    /// [`SeaweedKernel::queries`].
+    pub kernel: SeaweedKernel,
+    /// Number of merge levels executed (each `O(1)` rounds).
+    pub levels: usize,
+}
+
+/// One block of the divide and conquer: its kernel is over the compact alphabet of
+/// the block's own values; `values` maps that alphabet back to global ranks.
+#[derive(Clone, Debug)]
+struct Block {
+    /// Sorted global ranks of the values occurring in this block.
+    values: Vec<usize>,
+    /// Kernel of (identity over `values`, block contents).
+    kernel: SeaweedKernel,
+}
+
+/// Computes the full semi-local LIS kernel of `seq` on the cluster.
+pub fn lis_kernel_mpc<T: Ord>(
+    cluster: &mut Cluster,
+    seq: &[T],
+    params: &MulParams,
+) -> MpcLisOutcome {
+    let n = seq.len();
+    if n == 0 {
+        return MpcLisOutcome {
+            length: 0,
+            kernel: SeaweedKernel::comb(&[], &[]),
+            levels: 0,
+        };
+    }
+
+    // Step 1: ranking. One sort of (value, position) pairs (Lemma 2.5) plus an
+    // inverse permutation (Lemma 2.3).
+    cluster.set_phase(Some("lis-rank"));
+    cluster.charge_rounds("lis-rank", costs::SORT + costs::INVERSE_PERMUTATION);
+    let ranks = rank_sequence(seq);
+
+    // Step 2: base blocks combed locally (one group_map).
+    cluster.set_phase(Some("lis-base-blocks"));
+    let block_size = cluster.config().space.clamp(4, n.max(4));
+    let positions = cluster.distribute(
+        ranks
+            .iter()
+            .enumerate()
+            .map(|(i, &r)| (i as u32, r))
+            .collect::<Vec<_>>(),
+    );
+    let base: Vec<(u32, Block)> = {
+        let bs = block_size as u32;
+        let kernels = cluster.group_map(
+            positions,
+            move |&(pos, _)| pos / bs,
+            move |&block_id, mut items| {
+                items.sort_unstable_by_key(|&(pos, _)| pos);
+                let block_values: Vec<u32> = items.iter().map(|&(_, r)| r).collect();
+                let mut values: Vec<usize> = block_values.iter().map(|&r| r as usize).collect();
+                values.sort_unstable();
+                let relabelled: Vec<u32> = block_values
+                    .iter()
+                    .map(|&r| values.partition_point(|&v| v < r as usize) as u32)
+                    .collect();
+                let kernel = lis_kernel_permutation(&relabelled);
+                vec![(block_id, Block { values, kernel })]
+            },
+        );
+        let mut base = cluster.collect(kernels);
+        base.sort_by_key(|&(id, _)| id);
+        base
+    };
+    let mut blocks: Vec<Block> = base.into_iter().map(|(_, b)| b).collect();
+
+    // Step 3: pairwise merge levels.
+    let mut levels = 0;
+    while blocks.len() > 1 {
+        levels += 1;
+        cluster.set_phase(Some("lis-merge"));
+        // Relabelling both halves of every pair to the union alphabet is an O(1)
+        // round sort (the §4.2 "relabel A_lo and A_hi" step).
+        cluster.charge_rounds("lis-relabel", costs::SORT);
+
+        // Prepare the padded ⊡ operands of every pair; odd block passes through.
+        let mut pairs = Vec::new();
+        let mut merged_meta = Vec::new();
+        let mut leftover = None;
+        let mut iter = blocks.into_iter();
+        while let Some(lo) = iter.next() {
+            match iter.next() {
+                Some(hi) => {
+                    let union: Vec<usize> = merge_sorted(&lo.values, &hi.values);
+                    let lo_inflated = lo
+                        .kernel
+                        .inflate_rows(&positions_in(&union, &lo.values), union.len());
+                    let hi_inflated = hi
+                        .kernel
+                        .inflate_rows(&positions_in(&union, &hi.values), union.len());
+                    let (p1, p2) = compose_operands(&lo_inflated, &hi_inflated);
+                    pairs.push((p1, p2));
+                    merged_meta.push((lo_inflated, hi_inflated, union));
+                }
+                None => leftover = Some(lo),
+            }
+        }
+
+        // One batched MPC multiplication merges every pair in the same rounds.
+        let products = monge_mpc::mul_batch(cluster, &pairs, params);
+        let mut next: Vec<Block> = products
+            .into_iter()
+            .zip(merged_meta)
+            .map(|(prod, (lo_inf, hi_inf, union))| Block {
+                values: union,
+                kernel: compose_from_product(&lo_inf, &hi_inf, prod),
+            })
+            .collect();
+        if let Some(b) = leftover {
+            next.push(b);
+        }
+        blocks = next;
+    }
+
+    let root = blocks.pop().expect("at least one block");
+    debug_assert_eq!(root.kernel.y_len(), n);
+    let length = root.kernel.lcs_window(0, n);
+    cluster.set_phase(None::<String>);
+    MpcLisOutcome {
+        length,
+        kernel: root.kernel,
+        levels,
+    }
+}
+
+/// Computes only the LIS length (Theorem 1.3).
+pub fn lis_length_mpc<T: Ord>(cluster: &mut Cluster, seq: &[T], params: &MulParams) -> usize {
+    lis_kernel_mpc(cluster, seq, params).length
+}
+
+/// Positions of each element of `subset` within `superset` (both strictly
+/// increasing, `subset ⊆ superset`).
+fn positions_in(superset: &[usize], subset: &[usize]) -> Vec<usize> {
+    subset
+        .iter()
+        .map(|&v| {
+            let idx = superset.partition_point(|&u| u < v);
+            debug_assert_eq!(superset[idx], v);
+            idx
+        })
+        .collect()
+}
+
+/// Merges two strictly increasing sequences (their elements are disjoint because
+/// global ranks are unique).
+fn merge_sorted(a: &[usize], b: &[usize]) -> Vec<usize> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() || j < b.len() {
+        if j == b.len() || (i < a.len() && a[i] < b[j]) {
+            out.push(a[i]);
+            i += 1;
+        } else {
+            out.push(b[j]);
+            j += 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpc_runtime::MpcConfig;
+    use rand::prelude::*;
+    use seaweed_lis::baselines::{lis_length_patience, semi_local_lis_brute};
+
+    fn cluster_for(n: usize, delta: f64) -> Cluster {
+        Cluster::new(MpcConfig::new(n.max(4), delta))
+    }
+
+    #[test]
+    fn matches_patience_on_random_permutations() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for &n in &[1usize, 2, 10, 65, 130, 400, 1000] {
+            let mut seq: Vec<u32> = (0..n as u32).collect();
+            seq.shuffle(&mut rng);
+            let mut cluster = cluster_for(n, 0.5);
+            // A small space budget forces several merge levels.
+            let mut cfg = cluster.config().clone();
+            cfg.space = 32;
+            cluster = Cluster::new(cfg);
+            let got = lis_length_mpc(&mut cluster, &seq, &MulParams::default());
+            assert_eq!(got, lis_length_patience(&seq), "n={n}");
+        }
+    }
+
+    #[test]
+    fn matches_patience_with_duplicates() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..10 {
+            let n = rng.gen_range(1..300);
+            let seq: Vec<u32> = (0..n).map(|_| rng.gen_range(0..40)).collect();
+            let mut cluster = Cluster::new(MpcConfig::new(n.max(4), 0.5).with_space(24));
+            let got = lis_length_mpc(&mut cluster, &seq, &MulParams::default());
+            assert_eq!(got, lis_length_patience(&seq), "{seq:?}");
+        }
+    }
+
+    #[test]
+    fn kernel_matches_sequential_divide_and_conquer() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 200;
+        let mut seq: Vec<u32> = (0..n as u32).collect();
+        seq.shuffle(&mut rng);
+        let mut cluster = Cluster::new(MpcConfig::new(n, 0.5).with_space(32));
+        let outcome = lis_kernel_mpc(&mut cluster, &seq, &MulParams::default());
+        let sequential = seaweed_lis::lis::lis_kernel(&seq);
+        assert_eq!(outcome.kernel, sequential);
+    }
+
+    #[test]
+    fn semi_local_queries_from_mpc_kernel() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let n = 60;
+        let mut seq: Vec<u32> = (0..n as u32).collect();
+        seq.shuffle(&mut rng);
+        let mut cluster = Cluster::new(MpcConfig::new(n, 0.5).with_space(16));
+        let outcome = lis_kernel_mpc(&mut cluster, &seq, &MulParams::default());
+        let brute = semi_local_lis_brute(&seq);
+        let queries = outcome.kernel.queries();
+        for l in 0..=n {
+            for r in l..=n {
+                assert_eq!(queries.lcs_window(l, r), brute[l][r], "[{l},{r})");
+            }
+        }
+    }
+
+    #[test]
+    fn round_count_grows_logarithmically() {
+        // Rounds per merge level are bounded by a constant; the number of levels is
+        // ⌈log₂(n / B)⌉, so rounds/levels must stay flat as n grows.
+        let mut per_level = Vec::new();
+        for &n in &[256usize, 512, 1024, 2048] {
+            let mut rng = StdRng::seed_from_u64(n as u64);
+            let mut seq: Vec<u32> = (0..n as u32).collect();
+            seq.shuffle(&mut rng);
+            let mut cluster = Cluster::new(MpcConfig::new(n, 0.5).with_space(64));
+            let outcome = lis_kernel_mpc(&mut cluster, &seq, &MulParams::default());
+            assert_eq!(outcome.length, lis_length_patience(&seq));
+            assert!(outcome.levels >= 2);
+            per_level.push(cluster.rounds() as f64 / outcome.levels as f64);
+        }
+        let min = per_level.iter().cloned().fold(f64::MAX, f64::min);
+        let max = per_level.iter().cloned().fold(0.0, f64::max);
+        assert!(
+            max <= 4.0 * min,
+            "rounds per level should stay bounded: {per_level:?}"
+        );
+    }
+
+    #[test]
+    fn sorted_and_reversed_inputs() {
+        let inc: Vec<u32> = (0..500).collect();
+        let dec: Vec<u32> = (0..500).rev().collect();
+        let mut cluster = Cluster::new(MpcConfig::new(500, 0.5).with_space(48));
+        assert_eq!(lis_length_mpc(&mut cluster, &inc, &MulParams::default()), 500);
+        let mut cluster = Cluster::new(MpcConfig::new(500, 0.5).with_space(48));
+        assert_eq!(lis_length_mpc(&mut cluster, &dec, &MulParams::default()), 1);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let mut cluster = cluster_for(4, 0.5);
+        assert_eq!(lis_length_mpc::<u32>(&mut cluster, &[], &MulParams::default()), 0);
+        assert_eq!(lis_length_mpc(&mut cluster, &[7u32], &MulParams::default()), 1);
+    }
+}

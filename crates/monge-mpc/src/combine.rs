@@ -1,0 +1,523 @@
+//! The distributed H-way combine (§3.2–§3.3 of the paper).
+//!
+//! Input: the colored union permutation of every parent instance being combined at
+//! this recursion level (each nonzero knows which of the `H` subproblems produced
+//! it). Output: the nonzeros of each parent's product matrix.
+//!
+//! The combine runs in a constant number of primitive rounds per level:
+//!
+//! 1. **Grid-line phase** — for every vertical grid line `c` (a multiple of `G`)
+//!    compute, for every color `q`, the demarcation row `b_q(c) = min{i : opt(i,c) > q}`
+//!    (from the pairwise crossovers `cmp(c,q,r)` of §3.2 and the breakpoint
+//!    reconstruction in `monge::multiway`).
+//! 2. **Classification** — a subgrid crossed by a demarcation line is *active*;
+//!    points in non-active subgrids survive iff their color equals the locally
+//!    constant `opt` (Lemma 3.10).
+//! 3. **Routing** — every active subgrid receives the union points in its row range
+//!    and column range plus its corner `F_q` vector (see DESIGN.md for how this
+//!    relates to the paper's tighter Lemma 3.12 routing).
+//! 4. **Local phase** — each active subgrid is resolved on one machine with
+//!    [`monge::multiway::process_subgrid`], emitting the interesting points of
+//!    Lemma 3.9 and the surviving union points.
+
+use crate::mul::Nonzero;
+use crate::params::GridPhase;
+use monge::multiway::{
+    opt_breakpoints_from_cmp, process_subgrid, ColoredPoint, MultiwayOracle, SubgridInstance,
+};
+use mpc_runtime::{Cluster, DistVec};
+use std::collections::HashMap;
+
+/// A nonzero of the union permutation, tagged with its parent instance and color.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Colored {
+    /// Parent instance being combined.
+    pub inst: u64,
+    /// Row of the nonzero in the parent's coordinates.
+    pub row: u32,
+    /// Column of the nonzero in the parent's coordinates.
+    pub col: u32,
+    /// Subproblem (color) that produced it.
+    pub color: u16,
+}
+
+/// Static description of a parent instance participating in a combine.
+#[derive(Clone, Copy, Debug)]
+pub struct ParentSpec {
+    /// Instance id.
+    pub inst: u64,
+    /// Matrix dimension of the parent.
+    pub n: usize,
+    /// Number of subproblems (colors) it was split into.
+    pub h: usize,
+    /// Grid spacing used for this parent.
+    pub g: usize,
+}
+
+/// Identifies one subgrid of one parent: `(parent, grid row, grid column)`.
+type Target = (u64, u32, u32);
+
+/// An active subgrid descriptor produced by the classification phase.
+#[derive(Clone, Debug)]
+struct ActiveSubgrid {
+    parent: u64,
+    gi: u32,
+    gj: u32,
+    base_f: Vec<u64>,
+}
+
+/// Verdict of the classification phase for a single union point.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Verdict {
+    /// The point's subgrid has constant `opt` equal to its color: it survives.
+    Keep,
+    /// Constant `opt` different from its color: it is dropped.
+    Drop,
+    /// The point lies in an active subgrid; the local phase decides.
+    Active,
+}
+
+/// Payload routed to the final per-subgrid groups.
+#[derive(Clone, Debug)]
+enum Payload {
+    Desc(Vec<u64>),
+    RowPt(ColoredPoint),
+    ColPt(ColoredPoint),
+}
+
+/// Per-line output of the grid phase: the demarcation rows `b_q(c)` for one vertical
+/// grid line at column `c`.
+#[derive(Clone, Debug)]
+struct LineInfo {
+    parent: u64,
+    /// Grid-line column (a multiple of `G`, or `n`).
+    c: u32,
+    /// `b[q] = min{i : opt(i, c) > q}` (equal to `n + 1` when demarcation line `q`
+    /// never crosses this grid line).
+    b: Vec<u32>,
+}
+
+/// Runs the distributed combine for all `parents` at once and returns the product
+/// nonzeros of every parent.
+pub fn distributed_combine(
+    cluster: &mut Cluster,
+    colored: DistVec<Colored>,
+    parents: &[ParentSpec],
+    grid_phase: GridPhase,
+) -> DistVec<Nonzero> {
+    cluster.set_phase(Some("combine"));
+    let specs: HashMap<u64, ParentSpec> = parents.iter().map(|p| (p.inst, *p)).collect();
+    let specs = cluster.broadcast(specs);
+
+    // Phase 1: per-line demarcation rows.
+    let lines = match grid_phase {
+        GridPhase::Reference | GridPhase::Tree => {
+            grid_phase_reference(cluster, &colored, &specs)
+        }
+    };
+
+    // Phase 2: classify points, enumerate active subgrids.
+    let (active, classified) = classify(cluster, &colored, lines, &specs);
+    let active = attach_base_f(cluster, &colored, active, &specs);
+
+    // Points of non-active subgrids that survive (Lemma 3.10, constant case).
+    let kept: DistVec<Nonzero> = {
+        let kept_points = cluster.filter(classified.clone(), |(_, v)| *v == Verdict::Keep);
+        cluster.map(&kept_points, |(p, _)| Nonzero {
+            inst: p.inst,
+            row: p.row,
+            col: p.col,
+        })
+    };
+
+    // Phase 3: routing.
+    let points_only = cluster.map(&classified, |(p, _)| *p);
+    let row_routed = route_band(cluster, &points_only, &active, &specs, true);
+    let col_routed = route_band(cluster, &points_only, &active, &specs, false);
+    let descs: DistVec<(Target, Payload)> = cluster.map(&active, |d| {
+        ((d.parent, d.gi, d.gj), Payload::Desc(d.base_f.clone()))
+    });
+    let all_items = {
+        let rc = cluster.concat(row_routed, col_routed);
+        cluster.concat(rc, descs)
+    };
+
+    // Phase 4: local subgrid resolution.
+    let specs_local = specs.clone();
+    let subgrid_out: DistVec<Nonzero> = cluster.group_map(
+        all_items,
+        |(target, _)| *target,
+        move |&(parent, gi, gj), items| {
+            resolve_subgrid(parent, gi, gj, items, &specs_local)
+        },
+    );
+
+    cluster.set_phase(None::<String>);
+    cluster.concat(kept, subgrid_out)
+}
+
+/// Routes every point to the active subgrids whose row band (`by_rows = true`) or
+/// column band contains it.
+fn route_band(
+    cluster: &mut Cluster,
+    points: &DistVec<Colored>,
+    active: &DistVec<ActiveSubgrid>,
+    specs: &HashMap<u64, ParentSpec>,
+    by_rows: bool,
+) -> DistVec<(Target, Payload)> {
+    #[derive(Clone, Debug)]
+    enum Item {
+        Point(Colored),
+        Active(u64, u32, u32),
+    }
+    let pts = cluster.map(points, |p| Item::Point(*p));
+    let ds = cluster.map(active, |d| Item::Active(d.parent, d.gi, d.gj));
+    let both = cluster.concat(pts, ds);
+
+    let key_specs = specs.clone();
+    cluster.group_map(
+        both,
+        move |item| match item {
+            Item::Point(p) => {
+                let g = key_specs[&p.inst].g as u32;
+                (p.inst, if by_rows { p.row / g } else { p.col / g })
+            }
+            Item::Active(parent, gi, gj) => (*parent, if by_rows { *gi } else { *gj }),
+        },
+        move |_, items| {
+            let mut band_points = Vec::new();
+            let mut band_subgrids = Vec::new();
+            for item in items {
+                match item {
+                    Item::Point(p) => band_points.push(p),
+                    Item::Active(parent, gi, gj) => band_subgrids.push((parent, gi, gj)),
+                }
+            }
+            let mut out = Vec::with_capacity(band_points.len() * band_subgrids.len());
+            for &(parent, gi, gj) in &band_subgrids {
+                for p in &band_points {
+                    let cp = ColoredPoint {
+                        row: p.row,
+                        col: p.col,
+                        color: p.color,
+                    };
+                    let payload = if by_rows {
+                        Payload::RowPt(cp)
+                    } else {
+                        Payload::ColPt(cp)
+                    };
+                    out.push(((parent, gi, gj), payload));
+                }
+            }
+            out
+        },
+    )
+}
+
+/// Builds a [`SubgridInstance`] from the routed items and resolves it locally.
+fn resolve_subgrid(
+    parent: u64,
+    gi: u32,
+    gj: u32,
+    items: Vec<(Target, Payload)>,
+    specs: &HashMap<u64, ParentSpec>,
+) -> Vec<Nonzero> {
+    let spec = specs[&parent];
+    let g = spec.g as u32;
+    let n = spec.n as u32;
+    let (r0, c0) = (gi * g, gj * g);
+    let (r1, c1) = ((r0 + g).min(n), (c0 + g).min(n));
+
+    let mut base_f = Vec::new();
+    let mut row_pts = Vec::new();
+    let mut col_pts = Vec::new();
+    for (_, payload) in items {
+        match payload {
+            Payload::Desc(f) => base_f = f,
+            Payload::RowPt(p) => row_pts.push(p),
+            Payload::ColPt(p) => col_pts.push(p),
+        }
+    }
+    assert!(
+        !base_f.is_empty(),
+        "active subgrid ({parent},{gi},{gj}) was routed without its descriptor"
+    );
+    row_pts.sort_unstable_by_key(|p| p.row);
+    col_pts.sort_unstable_by_key(|p| p.col);
+    let inst = SubgridInstance {
+        r0,
+        r1,
+        c0,
+        c1,
+        h: spec.h as u16,
+        base_f,
+        row_pts,
+        col_pts,
+    };
+    process_subgrid(&inst)
+        .nonzeros
+        .into_iter()
+        .map(|(row, col)| Nonzero {
+            inst: parent,
+            row,
+            col,
+        })
+        .collect()
+}
+
+// =====================================================================================
+// Grid-line phase
+// =====================================================================================
+
+/// Reference grid-line phase: gathers each parent's union permutation on one machine
+/// and computes the per-line demarcation rows with the sequential oracle.
+///
+/// The gather ignores the per-machine space budget for parents larger than `s`
+/// (recorded by the ledger as violations); the paper's §3.2 H-ary tree descent
+/// computes exactly the same `cmp(c, q, r)` values within the budget with the same
+/// `O(1)` round structure. See DESIGN.md §3 for the substitution note.
+fn grid_phase_reference(
+    cluster: &mut Cluster,
+    colored: &DistVec<Colored>,
+    specs: &HashMap<u64, ParentSpec>,
+) -> DistVec<LineInfo> {
+    let specs = specs.clone();
+    cluster.group_map(
+        colored.clone(),
+        |p| p.inst,
+        move |&inst, points| {
+            let spec = specs[&inst];
+            let pts: Vec<ColoredPoint> = points
+                .iter()
+                .map(|p| ColoredPoint {
+                    row: p.row,
+                    col: p.col,
+                    color: p.color,
+                })
+                .collect();
+            let oracle = MultiwayOracle::new(&pts, spec.h);
+            grid_lines(&oracle, spec)
+        },
+    )
+}
+
+/// Computes every vertical grid line's demarcation rows from an oracle.
+fn grid_lines(oracle: &MultiwayOracle, spec: ParentSpec) -> Vec<LineInfo> {
+    let n = spec.n as u32;
+    let h = spec.h;
+    let mut out = Vec::new();
+    let mut c = 0u32;
+    loop {
+        let mut cmp = vec![vec![0u32; h]; h];
+        for q in 0..h {
+            for r in q + 1..h {
+                cmp[q][r] = oracle.cmp(n, c, q, r);
+            }
+        }
+        let breakpoints = opt_breakpoints_from_cmp(&cmp, h, n);
+        out.push(LineInfo {
+            parent: spec.inst,
+            c,
+            b: b_vector(&breakpoints, h, n),
+        });
+        if c >= n {
+            break;
+        }
+        c = (c + spec.g as u32).min(n);
+    }
+    out
+}
+
+/// Converts `opt(·, c)` breakpoints into the demarcation rows
+/// `b[q] = min{i : opt(i, c) > q}` (or `n + 1` when the line never crosses).
+fn b_vector(breakpoints: &[(u32, u16)], h: usize, n: u32) -> Vec<u32> {
+    let mut b = vec![n + 1; h];
+    if let Some(&(_, first)) = breakpoints.first() {
+        for q in 0..first {
+            b[q as usize] = 0;
+        }
+    }
+    for window in breakpoints.windows(2) {
+        let (_, cur_val) = window[0];
+        let (next_start, next_val) = window[1];
+        for q in cur_val..next_val {
+            b[q as usize] = next_start;
+        }
+    }
+    b
+}
+
+/// Classifies points and enumerates active subgrids from the per-line information.
+fn classify(
+    cluster: &mut Cluster,
+    colored: &DistVec<Colored>,
+    lines: DistVec<LineInfo>,
+    specs: &HashMap<u64, ParentSpec>,
+) -> (DistVec<ActiveSubgrid>, DistVec<(Colored, Verdict)>) {
+    #[derive(Clone, Debug)]
+    enum BandItem {
+        Line(LineInfo),
+        Point(Colored),
+    }
+    #[derive(Clone, Debug)]
+    enum BandOut {
+        Active(ActiveSubgrid),
+        Classified(Colored, Verdict),
+    }
+
+    // A grid line at column c borders the band to its right (if c < n) and the band
+    // to its left (if c > 0); replicate it into both groups.
+    let specs_lines = specs.clone();
+    let line_items = cluster.flat_map(&lines, move |line| {
+        let spec = specs_lines[&line.parent];
+        let g = spec.g as u32;
+        let n = spec.n as u32;
+        let mut out = Vec::with_capacity(2);
+        if line.c < n {
+            out.push(((line.parent, line.c / g), BandItem::Line(line.clone())));
+        }
+        if line.c > 0 {
+            out.push(((line.parent, (line.c - 1) / g), BandItem::Line(line.clone())));
+        }
+        out
+    });
+    let specs_pts = specs.clone();
+    let point_items = cluster.map(colored, move |p| {
+        let g = specs_pts[&p.inst].g as u32;
+        ((p.inst, p.col / g), BandItem::Point(*p))
+    });
+    let all = cluster.concat(line_items, point_items);
+
+    let specs_groups = specs.clone();
+    let outputs: DistVec<BandOut> = cluster.group_map(
+        all,
+        |(key, _)| *key,
+        move |&(parent, band), items| {
+            let spec = specs_groups[&parent];
+            let g = spec.g as u32;
+            let n = spec.n as u32;
+            let h = spec.h;
+            let c_left = band * g;
+            let c_right = (c_left + g).min(n);
+            let mut left: Option<LineInfo> = None;
+            let mut right: Option<LineInfo> = None;
+            let mut points = Vec::new();
+            for (_, item) in items {
+                match item {
+                    BandItem::Line(l) if l.c == c_left => left = Some(l),
+                    BandItem::Line(l) if l.c == c_right => right = Some(l),
+                    BandItem::Line(_) => {}
+                    BandItem::Point(p) => points.push(p),
+                }
+            }
+            let left = left.expect("left grid line missing for band");
+            let right = right.expect("right grid line missing for band");
+
+            // opt at a corner lying on a known grid line: #{q : b_q ≤ row}.
+            let opt_on = |line: &LineInfo, row: u32| -> u16 {
+                line.b.iter().filter(|&&bq| bq <= row).count() as u16
+            };
+
+            // Demarcation line q crosses subgrid (gi, band) iff
+            // R_gi < b_q(c_left) and R_{gi+1} ≥ b_q(c_right).
+            let band_rows = (n as usize).div_ceil(g as usize) as u32;
+            let mut active_rows = std::collections::BTreeSet::new();
+            for q in 0..h {
+                let b_left = left.b[q];
+                let b_right = right.b[q];
+                for gi in 0..band_rows {
+                    let r_lo = gi * g;
+                    let r_hi = (r_lo + g).min(n);
+                    if r_lo < b_left && r_hi >= b_right {
+                        active_rows.insert(gi);
+                    }
+                }
+            }
+
+            let mut out = Vec::new();
+            for &gi in &active_rows {
+                out.push(BandOut::Active(ActiveSubgrid {
+                    parent,
+                    gi,
+                    gj: band,
+                    base_f: Vec::new(), // filled by `attach_base_f`
+                }));
+            }
+            for p in points {
+                let gi = p.row / g;
+                let verdict = if active_rows.contains(&gi) {
+                    Verdict::Active
+                } else if opt_on(&left, gi * g) == p.color {
+                    Verdict::Keep
+                } else {
+                    Verdict::Drop
+                };
+                out.push(BandOut::Classified(p, verdict));
+            }
+            out
+        },
+    );
+
+    let active = cluster.filter(outputs.clone(), |o| matches!(o, BandOut::Active(_)));
+    let active = cluster.map(&active, |o| match o {
+        BandOut::Active(a) => a.clone(),
+        BandOut::Classified(..) => unreachable!(),
+    });
+    let classified = cluster.filter(outputs, |o| matches!(o, BandOut::Classified(..)));
+    let classified = cluster.map(&classified, |o| match o {
+        BandOut::Classified(p, v) => (*p, *v),
+        BandOut::Active(_) => unreachable!(),
+    });
+    (active, classified)
+}
+
+/// Attaches the corner `F_q` vectors to the active subgrid descriptors.
+/// (`process_subgrid` only uses their pairwise differences, but the absolute values
+/// are cheap to provide and simplify testing.)
+fn attach_base_f(
+    cluster: &mut Cluster,
+    colored: &DistVec<Colored>,
+    active: DistVec<ActiveSubgrid>,
+    specs: &HashMap<u64, ParentSpec>,
+) -> DistVec<ActiveSubgrid> {
+    #[derive(Clone, Debug)]
+    enum Item {
+        Point(Colored),
+        Desc(ActiveSubgrid),
+    }
+    let pts = cluster.map(colored, |p| Item::Point(*p));
+    let ds = cluster.map(&active, |d| Item::Desc(d.clone()));
+    let all = cluster.concat(pts, ds);
+    let specs = specs.clone();
+    cluster.group_map(
+        all,
+        |item| match item {
+            Item::Point(p) => p.inst,
+            Item::Desc(d) => d.parent,
+        },
+        move |&inst, items| {
+            let spec = specs[&inst];
+            let mut pts = Vec::new();
+            let mut descs = Vec::new();
+            for item in items {
+                match item {
+                    Item::Point(p) => pts.push(ColoredPoint {
+                        row: p.row,
+                        col: p.col,
+                        color: p.color,
+                    }),
+                    Item::Desc(d) => descs.push(d),
+                }
+            }
+            let oracle = MultiwayOracle::new(&pts, spec.h);
+            descs
+                .into_iter()
+                .map(|mut d| {
+                    let g = spec.g as u32;
+                    d.base_f = oracle.f_vec(d.gi * g, d.gj * g);
+                    d
+                })
+                .collect()
+        },
+    )
+}

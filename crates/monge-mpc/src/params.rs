@@ -1,0 +1,156 @@
+//! Tunable parameters of the MPC multiplication.
+
+use mpc_runtime::MpcConfig;
+
+/// How the grid-line phase of the combine (§3.2) obtains the pairwise crossovers
+/// `cmp(c, q, r)` and the active-subgrid corner values.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GridPhase {
+    /// The paper's data structure: the colored H-ary tree, descended level by level
+    /// with batched rank-search packages (`O(1)` rounds because the tree height is
+    /// bounded by `10/(1−δ)`).
+    Tree,
+    /// Reference implementation: each instance's union permutation is gathered on one
+    /// machine and the grid quantities are computed there with the sequential oracle.
+    /// Produces identical results and identical downstream routing, but the gather
+    /// step ignores the space budget (violations are recorded in the ledger).
+    /// Used for differential testing and ablation.
+    Reference,
+}
+
+/// Parameters of [`crate::mul_batch`].
+#[derive(Clone, Debug)]
+pub struct MulParams {
+    /// Fan-out `H` of the §3.1 split. `0` selects the paper's `n^{(1−δ)/10}`
+    /// (clamped to at least 2).
+    pub h: usize,
+    /// Grid spacing `G` of §3.2/3.3. `0` selects the paper's `n^{1−δ}`.
+    pub g: usize,
+    /// Instances of size at most this are gathered onto one machine and multiplied
+    /// with the sequential steady-ant kernel. `0` selects the machine space budget.
+    pub local_threshold: usize,
+    /// Strategy for the grid-line phase of the combine.
+    pub grid_phase: GridPhase,
+}
+
+impl Default for MulParams {
+    fn default() -> Self {
+        Self {
+            h: 0,
+            g: 0,
+            local_threshold: 0,
+            grid_phase: GridPhase::Tree,
+        }
+    }
+}
+
+impl MulParams {
+    /// The paper's parameter choices for every `0` field, resolved against the
+    /// cluster configuration and the instance size `n`.
+    pub fn resolved(&self, cfg: &MpcConfig, n: usize) -> ResolvedParams {
+        let nf = (n.max(2)) as f64;
+        let h = if self.h == 0 {
+            (nf.powf((1.0 - cfg.delta) / 10.0).round() as usize).clamp(2, 64)
+        } else {
+            self.h.max(2)
+        };
+        let g = if self.g == 0 {
+            (nf.powf(1.0 - cfg.delta).ceil() as usize).max(4)
+        } else {
+            self.g.max(2)
+        };
+        let local_threshold = if self.local_threshold == 0 {
+            cfg.space.max(4)
+        } else {
+            self.local_threshold
+        };
+        ResolvedParams {
+            h,
+            g,
+            local_threshold,
+            grid_phase: self.grid_phase,
+        }
+    }
+
+    /// The §1.4 warmup baseline: binary splits, so the recursion depth (and hence
+    /// the round count) grows as `Θ(log n)` instead of `O(1)`.
+    pub fn warmup() -> Self {
+        Self {
+            h: 2,
+            ..Self::default()
+        }
+    }
+
+    /// Overrides the fan-out `H`.
+    pub fn with_h(mut self, h: usize) -> Self {
+        self.h = h;
+        self
+    }
+
+    /// Overrides the grid spacing `G`.
+    pub fn with_g(mut self, g: usize) -> Self {
+        self.g = g;
+        self
+    }
+
+    /// Overrides the local-solve threshold.
+    pub fn with_local_threshold(mut self, t: usize) -> Self {
+        self.local_threshold = t;
+        self
+    }
+
+    /// Selects the grid-phase strategy.
+    pub fn with_grid_phase(mut self, grid_phase: GridPhase) -> Self {
+        self.grid_phase = grid_phase;
+        self
+    }
+}
+
+/// Fully resolved parameters for one instance size.
+#[derive(Clone, Copy, Debug)]
+pub struct ResolvedParams {
+    /// Split fan-out `H`.
+    pub h: usize,
+    /// Grid spacing `G`.
+    pub g: usize,
+    /// Gather-and-solve-locally threshold.
+    pub local_threshold: usize,
+    /// Grid-phase strategy.
+    pub grid_phase: GridPhase,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults_scale_with_n_and_delta() {
+        let cfg = MpcConfig::new(1 << 20, 0.5);
+        let p = MulParams::default().resolved(&cfg, 1 << 20);
+        assert!(p.h >= 2);
+        assert_eq!(p.g, 1 << 10);
+        assert_eq!(p.local_threshold, cfg.space);
+
+        let cfg2 = MpcConfig::new(1 << 20, 0.75);
+        let p2 = MulParams::default().resolved(&cfg2, 1 << 20);
+        assert!(p2.g < p.g, "larger δ ⇒ smaller per-machine space ⇒ smaller G");
+    }
+
+    #[test]
+    fn warmup_uses_binary_splits() {
+        let cfg = MpcConfig::new(1 << 16, 0.5);
+        let p = MulParams::warmup().resolved(&cfg, 1 << 16);
+        assert_eq!(p.h, 2);
+    }
+
+    #[test]
+    fn explicit_overrides_win() {
+        let cfg = MpcConfig::new(4096, 0.5);
+        let p = MulParams::default()
+            .with_h(7)
+            .with_g(33)
+            .with_local_threshold(10)
+            .resolved(&cfg, 4096);
+        assert_eq!((p.h, p.g, p.local_threshold), (7, 33, 10));
+    }
+}

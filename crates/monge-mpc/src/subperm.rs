@@ -1,0 +1,169 @@
+//! Theorem 1.2: the sub-permutation (subunit-Monge) extension.
+//!
+//! Following §4.1 of the paper, a product of sub-permutation matrices is reduced to a
+//! product of permutation matrices by (1) dropping zero rows of `P_A` and zero
+//! columns of `P_B`, (2) padding `P_A` with fresh rows in front covering its unused
+//! columns and `P_B` with fresh columns at the back covering its unused rows, (3)
+//! multiplying the resulting permutation matrices with Theorem 1.1, and (4) reading
+//! the answer out of the bottom-left block. The padding only uses prefix sums and
+//! sorting, i.e. `O(1)` rounds.
+
+use crate::mul::mul;
+use crate::params::MulParams;
+use monge::{PermutationMatrix, SubPermutationMatrix};
+use mpc_runtime::Cluster;
+
+/// Multiplies two sub-permutation matrices on the cluster
+/// (`P_C = P_A ⊡ P_B`, Theorem 1.2).
+pub fn mul_sub(
+    cluster: &mut Cluster,
+    a: &SubPermutationMatrix,
+    b: &SubPermutationMatrix,
+    params: &MulParams,
+) -> SubPermutationMatrix {
+    assert_eq!(
+        a.cols_len(),
+        b.rows_len(),
+        "inner dimensions must agree: {}×{} times {}×{}",
+        a.rows_len(),
+        a.cols_len(),
+        b.rows_len(),
+        b.cols_len()
+    );
+    let (n1, n2, n3) = (a.rows_len(), a.cols_len(), b.cols_len());
+    if n2 == 0 {
+        return SubPermutationMatrix::zero(n1, n3);
+    }
+
+    // (1) Compaction: keep nonzero rows of A and nonzero columns of B.
+    // (These relabellings are the Lemma 2.3/2.5 sorting steps; they are executed
+    // driver-side here because they are simple index arithmetic, and the cluster is
+    // charged the corresponding O(1) rounds.)
+    cluster.charge_rounds("subperm-compaction", mpc_runtime::costs::SORT + mpc_runtime::costs::PREFIX_SUM);
+
+    let kept_rows_a: Vec<usize> = (0..n1).filter(|&r| a.col_of(r).is_some()).collect();
+    let mut kept_cols_b: Vec<usize> = (0..n2).filter_map(|r| b.col_of(r)).collect();
+    kept_cols_b.sort_unstable();
+    let r1 = kept_rows_a.len();
+    let r3 = kept_cols_b.len();
+    let mut col_rank_b = vec![u32::MAX; n3];
+    for (i, &c) in kept_cols_b.iter().enumerate() {
+        col_rank_b[c] = i as u32;
+    }
+
+    // (2) Padding to n2 × n2 permutation matrices.
+    let mut col_used_a = vec![false; n2];
+    for &r in &kept_rows_a {
+        col_used_a[a.col_of(r).expect("kept rows are nonzero")] = true;
+    }
+    let empty_cols_a: Vec<usize> = (0..n2).filter(|&c| !col_used_a[c]).collect();
+    let mut pa = Vec::with_capacity(n2);
+    pa.extend(empty_cols_a.iter().map(|&c| c as u32));
+    pa.extend(kept_rows_a.iter().map(|&r| a.col_of(r).expect("nonzero") as u32));
+
+    let mut pb = Vec::with_capacity(n2);
+    let mut next_extra_col = r3 as u32;
+    for r in 0..n2 {
+        match b.col_of(r) {
+            Some(c) => pb.push(col_rank_b[c]),
+            None => {
+                pb.push(next_extra_col);
+                next_extra_col += 1;
+            }
+        }
+    }
+
+    // (3) Permutation product on the cluster (Theorem 1.1).
+    let pc = mul(
+        cluster,
+        &PermutationMatrix::from_rows(pa),
+        &PermutationMatrix::from_rows(pb),
+        params,
+    );
+
+    // (4) Extract the bottom-left r1 × r3 block and restore the original labels.
+    let mut rows = vec![SubPermutationMatrix::NONE; n1];
+    for (t, &orig_row) in kept_rows_a.iter().enumerate() {
+        let c = pc.col_of((n2 - r1) + t);
+        if c < r3 {
+            rows[orig_row] = kept_cols_b[c] as u32;
+        }
+    }
+    SubPermutationMatrix::from_rows(rows, n3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use monge::dense::mul_dense_sub;
+    use mpc_runtime::MpcConfig;
+    use rand::prelude::*;
+
+    fn random_sub(rows: usize, cols: usize, density: f64, rng: &mut StdRng) -> SubPermutationMatrix {
+        let k = rows.min(cols);
+        let keep = (0..k).filter(|_| rng.gen_bool(density)).count();
+        let mut rs: Vec<usize> = (0..rows).collect();
+        let mut cs: Vec<usize> = (0..cols).collect();
+        rs.shuffle(rng);
+        cs.shuffle(rng);
+        let mut out = vec![SubPermutationMatrix::NONE; rows];
+        for i in 0..keep {
+            out[rs[i]] = cs[i] as u32;
+        }
+        SubPermutationMatrix::from_rows(out, cols)
+    }
+
+    #[test]
+    fn matches_dense_reference() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..15 {
+            let n1 = rng.gen_range(1..25);
+            let n2 = rng.gen_range(1..25);
+            let n3 = rng.gen_range(1..25);
+            let a = random_sub(n1, n2, 0.6, &mut rng);
+            let b = random_sub(n2, n3, 0.6, &mut rng);
+            let mut cluster = Cluster::new(MpcConfig::new(n2.max(4), 0.5));
+            let got = mul_sub(&mut cluster, &a, &b, &MulParams::default());
+            assert_eq!(got, mul_dense_sub(&a, &b), "a={a:?} b={b:?}");
+        }
+    }
+
+    #[test]
+    fn matches_dense_with_forced_recursion() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let a = random_sub(60, 80, 0.8, &mut rng);
+        let b = random_sub(80, 70, 0.8, &mut rng);
+        let mut cluster = Cluster::new(MpcConfig::new(80, 0.5));
+        let params = MulParams::default().with_local_threshold(16).with_h(3).with_g(8);
+        let got = mul_sub(&mut cluster, &a, &b, &params);
+        assert_eq!(got, mul_dense_sub(&a, &b));
+    }
+
+    #[test]
+    fn empty_and_degenerate_shapes() {
+        let mut cluster = Cluster::new(MpcConfig::new(16, 0.5));
+        let a = SubPermutationMatrix::zero(3, 5);
+        let b = SubPermutationMatrix::zero(5, 4);
+        let got = mul_sub(&mut cluster, &a, &b, &MulParams::default());
+        assert_eq!(got.nonzero_count(), 0);
+        assert_eq!((got.rows_len(), got.cols_len()), (3, 4));
+
+        let a0 = SubPermutationMatrix::zero(2, 0);
+        let b0 = SubPermutationMatrix::zero(0, 3);
+        let got0 = mul_sub(&mut cluster, &a0, &b0, &MulParams::default());
+        assert_eq!((got0.rows_len(), got0.cols_len()), (2, 3));
+    }
+
+    #[test]
+    fn full_permutation_inputs_reduce_to_theorem_1_1() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut v: Vec<u32> = (0..40).collect();
+        v.shuffle(&mut rng);
+        let a = PermutationMatrix::from_rows(v.clone());
+        v.shuffle(&mut rng);
+        let b = PermutationMatrix::from_rows(v);
+        let mut cluster = Cluster::new(MpcConfig::new(40, 0.5));
+        let got = mul_sub(&mut cluster, &a.to_sub(), &b.to_sub(), &MulParams::default());
+        assert_eq!(got.as_permutation().unwrap(), monge::mul(&a, &b));
+    }
+}

@@ -1,0 +1,155 @@
+//! Dense reference implementation of the implicit (sub)unit-Monge multiplication.
+//!
+//! `mul_dense` materializes the distribution matrices of both operands, forms the
+//! explicit `(min,+)`-product and recovers the resulting (sub-)permutation matrix by
+//! finite differences. It runs in `O(n_1 n_2 n_3)` time and `O(n²)` space and exists
+//! purely as ground truth for the `O(n log n)` steady-ant algorithm, the H-way combine
+//! and the MPC implementations.
+
+use crate::distribution::DistributionMatrix;
+use crate::matrix::{PermutationMatrix, SubPermutationMatrix};
+
+/// Reference `(min,+)` product of two sub-permutation matrices
+/// (`P_A`: `n1 × n2`, `P_B`: `n2 × n3`), returning the unique sub-permutation matrix
+/// `P_C` with `P_C^Σ(i,k) = min_j (P_A^Σ(i,j) + P_B^Σ(j,k))` (Lemma 2.2).
+pub fn mul_dense_sub(a: &SubPermutationMatrix, b: &SubPermutationMatrix) -> SubPermutationMatrix {
+    assert_eq!(
+        a.cols_len(),
+        b.rows_len(),
+        "inner dimensions must agree: {}×{} times {}×{}",
+        a.rows_len(),
+        a.cols_len(),
+        b.rows_len(),
+        b.cols_len()
+    );
+    let (n1, n2, n3) = (a.rows_len(), a.cols_len(), b.cols_len());
+    let da = DistributionMatrix::from_sub_permutation(a);
+    let db = DistributionMatrix::from_sub_permutation(b);
+
+    // dc[i][k] = min_j (da[i][j] + db[j][k])
+    let mut dc = vec![0u32; (n1 + 1) * (n3 + 1)];
+    for i in 0..=n1 {
+        for k in 0..=n3 {
+            let mut best = u32::MAX;
+            for j in 0..=n2 {
+                best = best.min(da.get(i, j) + db.get(j, k));
+            }
+            dc[i * (n3 + 1) + k] = best;
+        }
+    }
+
+    // Recover P_C by finite differences of the distribution matrix.
+    let mut rows = vec![SubPermutationMatrix::NONE; n1];
+    let idx = |i: usize, k: usize| i * (n3 + 1) + k;
+    for i in 0..n1 {
+        for k in 0..n3 {
+            let v = i64::from(dc[idx(i, k + 1)]) + i64::from(dc[idx(i + 1, k)])
+                - i64::from(dc[idx(i, k)])
+                - i64::from(dc[idx(i + 1, k + 1)]);
+            debug_assert!((0..=1).contains(&v), "product is not subunit-Monge at ({i},{k})");
+            if v == 1 {
+                assert!(
+                    rows[i] == SubPermutationMatrix::NONE,
+                    "two nonzeros in row {i} of the product"
+                );
+                rows[i] = k as u32;
+            }
+        }
+    }
+    SubPermutationMatrix::from_rows(rows, n3)
+}
+
+/// Reference product specialized to permutation matrices (Lemma 2.1).
+pub fn mul_dense(a: &PermutationMatrix, b: &PermutationMatrix) -> PermutationMatrix {
+    assert_eq!(a.size(), b.size(), "permutation matrices must have equal size");
+    mul_dense_sub(&a.to_sub(), &b.to_sub())
+        .as_permutation()
+        .expect("product of permutation matrices is a permutation matrix (Lemma 2.1)")
+}
+
+/// Explicit `(min,+)` product of the distribution matrices, exposed for tests that
+/// want to inspect the full unit-Monge matrix rather than its implicit form.
+pub fn min_plus_distribution(
+    a: &DistributionMatrix,
+    b: &DistributionMatrix,
+) -> Vec<Vec<u32>> {
+    assert_eq!(a.cols(), b.rows());
+    let (n1, n2, n3) = (a.rows(), a.cols(), b.cols());
+    let mut out = vec![vec![0u32; n3 + 1]; n1 + 1];
+    for (i, row) in out.iter_mut().enumerate() {
+        for (k, cell) in row.iter_mut().enumerate() {
+            *cell = (0..=n2).map(|j| a.get(i, j) + b.get(j, k)).min().unwrap();
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_is_neutral() {
+        let p = PermutationMatrix::from_rows(vec![2, 0, 1]);
+        let id = PermutationMatrix::identity(3);
+        assert_eq!(mul_dense(&p, &id), p);
+        assert_eq!(mul_dense(&id, &p), p);
+    }
+
+    #[test]
+    fn product_distribution_is_min_plus() {
+        // The defining property: P_C^Σ equals the explicit (min,+) product.
+        let a = PermutationMatrix::from_rows(vec![1, 3, 0, 2]);
+        let b = PermutationMatrix::from_rows(vec![2, 1, 3, 0]);
+        let c = mul_dense(&a, &b);
+        let da = DistributionMatrix::from_permutation(&a);
+        let db = DistributionMatrix::from_permutation(&b);
+        let dc = DistributionMatrix::from_permutation(&c);
+        let explicit = min_plus_distribution(&da, &db);
+        for i in 0..=4 {
+            for k in 0..=4 {
+                assert_eq!(dc.get(i, k), explicit[i][k], "mismatch at ({i},{k})");
+            }
+        }
+    }
+
+    #[test]
+    fn known_small_product() {
+        // Reverse ∘ reverse under ⊡: computed by hand via distribution matrices.
+        let rev = PermutationMatrix::from_rows(vec![1, 0]);
+        let c = mul_dense(&rev, &rev);
+        // P_A^Σ = P_B^Σ for the 2×2 reversal; the (min,+) square is the distribution
+        // matrix of the identity? Verify against explicit computation instead of a
+        // hard-coded guess.
+        let da = DistributionMatrix::from_permutation(&rev);
+        let explicit = min_plus_distribution(&da, &da);
+        let dc = DistributionMatrix::from_permutation(&c);
+        for i in 0..=2 {
+            for k in 0..=2 {
+                assert_eq!(dc.get(i, k), explicit[i][k]);
+            }
+        }
+    }
+
+    #[test]
+    fn sub_permutation_product_shapes() {
+        let a = SubPermutationMatrix::from_rows(vec![0, SubPermutationMatrix::NONE, 1], 2);
+        let b = SubPermutationMatrix::from_rows(vec![3, 1], 4);
+        let c = mul_dense_sub(&a, &b);
+        assert_eq!(c.rows_len(), 3);
+        assert_eq!(c.cols_len(), 4);
+        assert!(c.nonzero_count() <= 2);
+    }
+
+    #[test]
+    fn zero_rows_stay_zero() {
+        // A zero row of P_A yields a zero row of the product (used by Theorem 1.2).
+        let a = SubPermutationMatrix::from_rows(
+            vec![SubPermutationMatrix::NONE, 0, 1],
+            2,
+        );
+        let b = SubPermutationMatrix::from_rows(vec![1, 0], 2);
+        let c = mul_dense_sub(&a, &b);
+        assert_eq!(c.col_of(0), None);
+    }
+}

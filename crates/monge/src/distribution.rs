@@ -1,0 +1,173 @@
+//! Explicit distribution matrices (unit-Monge matrices).
+//!
+//! For a matrix `M` of shape `m × n` indexed by half-integers, the paper defines
+//!
+//! ```text
+//! M^Σ(i, j) = Σ_{(î, ĵ) ∈ ⟨i:m⟩ × ⟨0:j⟩} M(î, ĵ)        for i ∈ [0:m], j ∈ [0:n]
+//! ```
+//!
+//! i.e. `M^Σ(i, j)` counts nonzeros strictly *below* row boundary `i` and strictly to
+//! the *left* of column boundary `j`. The distribution matrix of a (sub-)permutation
+//! matrix is a (sub)unit-Monge matrix. This module materializes distribution matrices
+//! explicitly — `O((m+1)(n+1))` space — for use in tests, verification and the dense
+//! reference multiplication.
+
+use crate::matrix::{PermutationMatrix, SubPermutationMatrix};
+
+/// A dense `(rows+1) × (cols+1)` distribution matrix.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DistributionMatrix {
+    rows: usize,
+    cols: usize,
+    /// Row-major storage, `(rows + 1) * (cols + 1)` entries.
+    data: Vec<u32>,
+}
+
+impl DistributionMatrix {
+    /// Computes the distribution matrix of an arbitrary 0/1 point set given as
+    /// `(row, col)` pairs within a `rows × cols` grid.
+    pub fn from_points(points: &[(usize, usize)], rows: usize, cols: usize) -> Self {
+        // dens[r][c] = 1 if a point occupies cell (r, c).
+        let mut dens = vec![0u32; (rows + 1) * (cols + 1)];
+        for &(r, c) in points {
+            assert!(r < rows && c < cols, "point ({r},{c}) outside {rows}×{cols} grid");
+            dens[r * (cols + 1) + c] += 1;
+        }
+        // data[i][j] = number of points with row >= i and col < j.
+        let mut data = vec![0u32; (rows + 1) * (cols + 1)];
+        for i in (0..rows).rev() {
+            for j in 1..=cols {
+                data[i * (cols + 1) + j] = data[(i + 1) * (cols + 1) + j]
+                    + data[i * (cols + 1) + (j - 1)]
+                    - data[(i + 1) * (cols + 1) + (j - 1)]
+                    + dens[i * (cols + 1) + (j - 1)];
+            }
+        }
+        Self { rows, cols, data }
+    }
+
+    /// Distribution matrix of a permutation matrix.
+    pub fn from_permutation(p: &PermutationMatrix) -> Self {
+        let pts: Vec<_> = p.nonzeros().collect();
+        Self::from_points(&pts, p.size(), p.size())
+    }
+
+    /// Distribution matrix of a sub-permutation matrix.
+    pub fn from_sub_permutation(p: &SubPermutationMatrix) -> Self {
+        let pts: Vec<_> = p.nonzeros().collect();
+        Self::from_points(&pts, p.rows_len(), p.cols_len())
+    }
+
+    /// Number of rows of the underlying point grid.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns of the underlying point grid.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `M^Σ(i, j)`: nonzeros with row index `> i` and column index `< j`
+    /// (half-integer comparison; `i ∈ [0:rows]`, `j ∈ [0:cols]`).
+    pub fn get(&self, i: usize, j: usize) -> u32 {
+        debug_assert!(i <= self.rows && j <= self.cols);
+        self.data[i * (self.cols + 1) + j]
+    }
+
+    /// Recovers the implicit (sub-)permutation matrix by finite differences:
+    /// `M(î, ĵ) = M^Σ(i, j+1) − M^Σ(i, j) − M^Σ(i+1, j+1) + M^Σ(i+1, j)`.
+    pub fn to_sub_permutation(&self) -> SubPermutationMatrix {
+        let mut rows = vec![SubPermutationMatrix::NONE; self.rows];
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                let v = self.get(i, j + 1) + self.get(i + 1, j)
+                    - self.get(i, j)
+                    - self.get(i + 1, j + 1);
+                if v == 1 {
+                    assert!(
+                        rows[i] == SubPermutationMatrix::NONE,
+                        "row {i} has two nonzeros; not a sub-permutation distribution matrix"
+                    );
+                    rows[i] = j as u32;
+                }
+            }
+        }
+        SubPermutationMatrix::from_rows(rows, self.cols)
+    }
+
+    /// Checks the Monge condition
+    /// `M(i,j) + M(i',j') ≤ M(i,j') + M(i',j)` for all `i ≤ i'`, `j ≤ j'`
+    /// on this matrix viewed as a plain matrix. Distribution matrices of
+    /// (sub-)permutation matrices satisfy it (they are (sub)unit-Monge).
+    pub fn is_monge(&self) -> bool {
+        // It suffices to check adjacent 2×2 submatrices.
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                let a = i64::from(self.get(i, j));
+                let b = i64::from(self.get(i, j + 1));
+                let c = i64::from(self.get(i + 1, j));
+                let d = i64::from(self.get(i + 1, j + 1));
+                if a + d > b + c {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_distribution() {
+        let p = PermutationMatrix::identity(3);
+        let d = DistributionMatrix::from_permutation(&p);
+        // M^Σ(0, 3) counts every nonzero.
+        assert_eq!(d.get(0, 3), 3);
+        // Nothing lies left of column boundary 0 or below row boundary n.
+        assert_eq!(d.get(0, 0), 0);
+        assert_eq!(d.get(3, 3), 0);
+        // The single nonzero (0,0) has row > 0? No: row 0+1/2 > 0, col 1/2 < 1.
+        assert_eq!(d.get(0, 1), 1);
+        assert_eq!(d.get(1, 1), 0);
+    }
+
+    #[test]
+    fn roundtrip_permutation() {
+        let p = PermutationMatrix::from_rows(vec![3, 1, 0, 2]);
+        let d = DistributionMatrix::from_permutation(&p);
+        assert_eq!(d.to_sub_permutation().as_permutation().unwrap(), p);
+    }
+
+    #[test]
+    fn roundtrip_sub_permutation() {
+        let s = SubPermutationMatrix::from_rows(vec![2, SubPermutationMatrix::NONE, 0], 4);
+        let d = DistributionMatrix::from_sub_permutation(&s);
+        assert_eq!(d.to_sub_permutation(), s);
+    }
+
+    #[test]
+    fn distribution_of_permutation_is_monge() {
+        let p = PermutationMatrix::from_rows(vec![2, 4, 0, 3, 1]);
+        let d = DistributionMatrix::from_permutation(&p);
+        assert!(d.is_monge());
+    }
+
+    #[test]
+    fn count_semantics_matches_direct_count() {
+        let p = PermutationMatrix::from_rows(vec![2, 4, 0, 3, 1]);
+        let d = DistributionMatrix::from_permutation(&p);
+        for i in 0..=5 {
+            for j in 0..=5 {
+                let direct = p
+                    .nonzeros()
+                    .filter(|&(r, c)| r >= i && c < j)
+                    .count() as u32;
+                assert_eq!(d.get(i, j), direct, "mismatch at ({i},{j})");
+            }
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! Sequential core of the unit-Monge / seaweed algebra.
+//!
+//! This crate implements the objects of Section 2 of Koo, *An Optimal MPC Algorithm for
+//! Subunit-Monge Matrix Multiplication, with Applications to LIS* (SPAA 2024), and the
+//! sequential algorithms the MPC layer builds on:
+//!
+//! * [`PermutationMatrix`] and [`SubPermutationMatrix`] — implicit representations of
+//!   0/1 matrices with at most one nonzero per row and column, stored as the column
+//!   index of the nonzero in each row (the representation used throughout the paper).
+//! * [`distribution`] — explicit distribution matrices `P^Σ` (unit-Monge matrices) for
+//!   testing and verification.
+//! * [`dense`] — a direct `(min,+)` reference implementation of the implicit product
+//!   `P_C = P_A ⊡ P_B` (Lemma 2.1 / 2.2), used as ground truth in tests.
+//! * [`steady_ant`] — Tiskin's `O(n log n)` divide-and-conquer multiplication, the
+//!   sequential baseline and the local kernel run inside a single MPC machine.
+//! * [`multiway`] — the H-way combine machinery of Section 3 (the functions
+//!   `F_q`, `δ_{q,r}`, `opt`, demarcation lines and interesting points) expressed as
+//!   pure, independently testable functions. The MPC layer (`monge-mpc`) reuses them.
+//! * [`dominance`] — offline/online 2-D dominance counting used by the semi-local
+//!   query structures and by the tests.
+//!
+//! Everything here is deterministic and single-threaded; parallel execution lives in
+//! the `mpc-runtime` / `monge-mpc` crates.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod dense;
+pub mod distribution;
+pub mod dominance;
+pub mod matrix;
+pub mod multiway;
+pub mod steady_ant;
+pub mod verify;
+
+pub use dense::mul_dense;
+pub use matrix::{PermutationMatrix, SubPermutationMatrix};
+pub use steady_ant::mul as mul_steady_ant;
+pub use steady_ant::mul_sub as mul_steady_ant_sub;
+
+/// Convenience alias: multiply two permutation matrices with the production
+/// (steady-ant) algorithm.
+pub fn mul(a: &PermutationMatrix, b: &PermutationMatrix) -> PermutationMatrix {
+    steady_ant::mul(a, b)
+}

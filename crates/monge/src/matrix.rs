@@ -1,0 +1,334 @@
+//! Implicit representations of permutation and sub-permutation matrices.
+//!
+//! A (sub-)permutation matrix of size `rows × cols` is a 0/1 matrix with at most one
+//! nonzero in every row and column (exactly one for a permutation matrix, which is
+//! necessarily square). Following the paper, rows and columns are conceptually indexed
+//! by *half-integers* `⟨0:n⟩ = {1/2, 3/2, …, n − 1/2}`; in code we use the 0-based
+//! integer `i` to denote the half-integer `i + 1/2`.
+//!
+//! The implicit representation stores, for every row, the column of its nonzero entry
+//! (or [`SubPermutationMatrix::NONE`] when the row is empty). This is the
+//! representation Theorem 1.1/1.2 of the paper assume for both inputs and output.
+
+use std::fmt;
+
+/// A permutation matrix of size `n × n`, stored as `col_of_row[i] = j` meaning the
+/// single nonzero of row `i + 1/2` lies in column `j + 1/2`.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct PermutationMatrix {
+    col_of_row: Vec<u32>,
+}
+
+/// A sub-permutation matrix of size `rows × cols`, stored as the column of the nonzero
+/// in each row or [`SubPermutationMatrix::NONE`] for empty rows.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct SubPermutationMatrix {
+    col_of_row: Vec<u32>,
+    cols: usize,
+}
+
+impl PermutationMatrix {
+    /// Builds a permutation matrix from the column index of each row's nonzero entry.
+    ///
+    /// # Panics
+    /// Panics if `col_of_row` is not a permutation of `0..n`.
+    pub fn from_rows(col_of_row: Vec<u32>) -> Self {
+        let n = col_of_row.len();
+        let mut seen = vec![false; n];
+        for &c in &col_of_row {
+            assert!(
+                (c as usize) < n && !seen[c as usize],
+                "from_rows: input is not a permutation of 0..{n}"
+            );
+            seen[c as usize] = true;
+        }
+        Self { col_of_row }
+    }
+
+    /// Builds a permutation matrix without validating the input.
+    ///
+    /// The caller must guarantee `col_of_row` is a permutation of `0..n`; all other
+    /// methods rely on that invariant. Intended for hot paths that construct
+    /// permutations they have already proven valid.
+    pub fn from_rows_unchecked(col_of_row: Vec<u32>) -> Self {
+        debug_assert!({
+            let n = col_of_row.len();
+            let mut seen = vec![false; n];
+            col_of_row.iter().all(|&c| {
+                let ok = (c as usize) < n && !seen[c as usize];
+                if ok {
+                    seen[c as usize] = true;
+                }
+                ok
+            })
+        });
+        Self { col_of_row }
+    }
+
+    /// The identity permutation matrix of size `n`.
+    pub fn identity(n: usize) -> Self {
+        Self {
+            col_of_row: (0..n as u32).collect(),
+        }
+    }
+
+    /// Matrix dimension `n`.
+    pub fn size(&self) -> usize {
+        self.col_of_row.len()
+    }
+
+    /// Returns `true` when the matrix has size zero.
+    pub fn is_empty(&self) -> bool {
+        self.col_of_row.is_empty()
+    }
+
+    /// The column (0-based) holding the nonzero of row `row`.
+    pub fn col_of(&self, row: usize) -> usize {
+        self.col_of_row[row] as usize
+    }
+
+    /// Row-major slice of nonzero columns.
+    pub fn rows(&self) -> &[u32] {
+        &self.col_of_row
+    }
+
+    /// Consumes the matrix and returns the underlying row → column mapping.
+    pub fn into_rows(self) -> Vec<u32> {
+        self.col_of_row
+    }
+
+    /// The inverse permutation matrix (equivalently, the transpose).
+    pub fn inverse(&self) -> Self {
+        let n = self.size();
+        let mut inv = vec![0u32; n];
+        for (r, &c) in self.col_of_row.iter().enumerate() {
+            inv[c as usize] = r as u32;
+        }
+        Self { col_of_row: inv }
+    }
+
+    /// Iterator over nonzero entries as `(row, col)` pairs.
+    pub fn nonzeros(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.col_of_row
+            .iter()
+            .enumerate()
+            .map(|(r, &c)| (r, c as usize))
+    }
+
+    /// Value of the matrix at `(row, col)` (0-based half-integer indices).
+    pub fn get(&self, row: usize, col: usize) -> u8 {
+        u8::from(self.col_of_row[row] as usize == col)
+    }
+
+    /// Converts into a [`SubPermutationMatrix`] with the same nonzeros.
+    pub fn to_sub(&self) -> SubPermutationMatrix {
+        SubPermutationMatrix {
+            col_of_row: self.col_of_row.clone(),
+            cols: self.size(),
+        }
+    }
+}
+
+impl SubPermutationMatrix {
+    /// Sentinel column value marking an empty row.
+    pub const NONE: u32 = u32::MAX;
+
+    /// Builds a sub-permutation matrix from per-row columns (use [`Self::NONE`] for
+    /// empty rows) and an explicit column count.
+    ///
+    /// # Panics
+    /// Panics if a column index is out of range or repeated.
+    pub fn from_rows(col_of_row: Vec<u32>, cols: usize) -> Self {
+        let mut seen = vec![false; cols];
+        for &c in &col_of_row {
+            if c == Self::NONE {
+                continue;
+            }
+            assert!(
+                (c as usize) < cols && !seen[c as usize],
+                "from_rows: duplicate or out-of-range column {c}"
+            );
+            seen[c as usize] = true;
+        }
+        Self { col_of_row, cols }
+    }
+
+    /// Builds a sub-permutation matrix without validation (debug-asserted only).
+    pub fn from_rows_unchecked(col_of_row: Vec<u32>, cols: usize) -> Self {
+        debug_assert!({
+            let mut seen = vec![false; cols];
+            col_of_row.iter().all(|&c| {
+                c == Self::NONE || {
+                    let ok = (c as usize) < cols && !seen[c as usize];
+                    if ok {
+                        seen[c as usize] = true;
+                    }
+                    ok
+                }
+            })
+        });
+        Self { col_of_row, cols }
+    }
+
+    /// An all-zero matrix of the given shape.
+    pub fn zero(rows: usize, cols: usize) -> Self {
+        Self {
+            col_of_row: vec![Self::NONE; rows],
+            cols,
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows_len(&self) -> usize {
+        self.col_of_row.len()
+    }
+
+    /// Number of columns.
+    pub fn cols_len(&self) -> usize {
+        self.cols
+    }
+
+    /// The column of row `row`'s nonzero, if any.
+    pub fn col_of(&self, row: usize) -> Option<usize> {
+        match self.col_of_row[row] {
+            Self::NONE => None,
+            c => Some(c as usize),
+        }
+    }
+
+    /// Raw row → column slice (with [`Self::NONE`] sentinels).
+    pub fn rows(&self) -> &[u32] {
+        &self.col_of_row
+    }
+
+    /// Number of nonzero entries.
+    pub fn nonzero_count(&self) -> usize {
+        self.col_of_row.iter().filter(|&&c| c != Self::NONE).count()
+    }
+
+    /// Iterator over nonzero entries as `(row, col)`.
+    pub fn nonzeros(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.col_of_row
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c != Self::NONE)
+            .map(|(r, &c)| (r, c as usize))
+    }
+
+    /// Value of the matrix at `(row, col)`.
+    pub fn get(&self, row: usize, col: usize) -> u8 {
+        u8::from(self.col_of_row[row] != Self::NONE && self.col_of_row[row] as usize == col)
+    }
+
+    /// The transpose (rows and columns swapped).
+    pub fn transpose(&self) -> Self {
+        let mut t = vec![Self::NONE; self.cols];
+        for (r, c) in self.nonzeros() {
+            t[c] = r as u32;
+        }
+        Self {
+            col_of_row: t,
+            cols: self.rows_len(),
+        }
+    }
+
+    /// Attempts to view this matrix as a full permutation matrix.
+    ///
+    /// Returns `None` unless the matrix is square with a nonzero in every row.
+    pub fn as_permutation(&self) -> Option<PermutationMatrix> {
+        if self.rows_len() != self.cols || self.col_of_row.iter().any(|&c| c == Self::NONE) {
+            return None;
+        }
+        Some(PermutationMatrix::from_rows(self.col_of_row.clone()))
+    }
+}
+
+impl fmt::Debug for PermutationMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PermutationMatrix(n={}, rows={:?})", self.size(), self.col_of_row)
+    }
+}
+
+impl fmt::Debug for SubPermutationMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "SubPermutationMatrix({}×{}, rows={:?})",
+            self.rows_len(),
+            self.cols,
+            self.col_of_row
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_roundtrip() {
+        let p = PermutationMatrix::identity(5);
+        assert_eq!(p.size(), 5);
+        for i in 0..5 {
+            assert_eq!(p.col_of(i), i);
+            assert_eq!(p.get(i, i), 1);
+        }
+        assert_eq!(p.inverse(), p);
+    }
+
+    #[test]
+    fn inverse_is_involution() {
+        let p = PermutationMatrix::from_rows(vec![2, 0, 3, 1]);
+        assert_eq!(p.inverse().inverse(), p);
+    }
+
+    #[test]
+    fn inverse_swaps_rows_and_cols() {
+        let p = PermutationMatrix::from_rows(vec![2, 0, 3, 1]);
+        let inv = p.inverse();
+        for (r, c) in p.nonzeros() {
+            assert_eq!(inv.col_of(c), r);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not a permutation")]
+    fn rejects_duplicate_columns() {
+        PermutationMatrix::from_rows(vec![0, 0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate or out-of-range")]
+    fn sub_rejects_out_of_range() {
+        SubPermutationMatrix::from_rows(vec![0, 3], 3);
+    }
+
+    #[test]
+    fn sub_permutation_basics() {
+        let s = SubPermutationMatrix::from_rows(vec![1, SubPermutationMatrix::NONE, 0], 4);
+        assert_eq!(s.rows_len(), 3);
+        assert_eq!(s.cols_len(), 4);
+        assert_eq!(s.nonzero_count(), 2);
+        assert_eq!(s.col_of(0), Some(1));
+        assert_eq!(s.col_of(1), None);
+        assert_eq!(s.get(2, 0), 1);
+        assert_eq!(s.get(2, 1), 0);
+        assert!(s.as_permutation().is_none());
+    }
+
+    #[test]
+    fn sub_transpose_roundtrip() {
+        let s = SubPermutationMatrix::from_rows(vec![1, SubPermutationMatrix::NONE, 0], 4);
+        let t = s.transpose();
+        assert_eq!(t.rows_len(), 4);
+        assert_eq!(t.cols_len(), 3);
+        assert_eq!(t.transpose(), s);
+    }
+
+    #[test]
+    fn permutation_to_sub_and_back() {
+        let p = PermutationMatrix::from_rows(vec![1, 2, 0]);
+        let s = p.to_sub();
+        assert_eq!(s.as_permutation().unwrap(), p);
+    }
+}

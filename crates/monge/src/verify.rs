@@ -1,0 +1,161 @@
+//! Verification helpers: checking Monge / unit-Monge structure and validating
+//! products against the defining `(min,+)` identity.
+//!
+//! These functions are `O(n²)`–`O(n³)` and intended for tests, debugging and the
+//! experiment harness (to certify outputs), not for production data paths.
+
+use crate::dense::min_plus_distribution;
+use crate::distribution::DistributionMatrix;
+use crate::matrix::{PermutationMatrix, SubPermutationMatrix};
+
+/// Checks whether an explicit matrix (given row-major) satisfies the Monge condition
+/// `M(i,j) + M(i',j') ≤ M(i,j') + M(i',j)` for all `i ≤ i'`, `j ≤ j'`.
+pub fn is_monge(matrix: &[Vec<i64>]) -> bool {
+    let rows = matrix.len();
+    if rows < 2 {
+        return true;
+    }
+    let cols = matrix[0].len();
+    for i in 0..rows - 1 {
+        for j in 0..cols - 1 {
+            if matrix[i][j] + matrix[i + 1][j + 1] > matrix[i][j + 1] + matrix[i + 1][j] {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Checks whether an explicit matrix is the distribution matrix of a sub-permutation
+/// matrix (i.e. a subunit-Monge matrix): all finite differences are 0/1 with at most
+/// one 1 per row and column, the last row is zero and the first column is zero.
+pub fn is_subunit_monge(matrix: &[Vec<i64>]) -> bool {
+    let rows = matrix.len();
+    if rows == 0 {
+        return true;
+    }
+    let cols = matrix[0].len();
+    if matrix[rows - 1].iter().any(|&v| v != 0) {
+        return false;
+    }
+    if matrix.iter().any(|row| row[0] != 0) {
+        return false;
+    }
+    let mut col_used = vec![false; cols.saturating_sub(1)];
+    for i in 0..rows - 1 {
+        let mut row_used = false;
+        for j in 0..cols - 1 {
+            let d = matrix[i][j + 1] + matrix[i + 1][j] - matrix[i][j] - matrix[i + 1][j + 1];
+            match d {
+                0 => {}
+                1 => {
+                    if row_used || col_used[j] {
+                        return false;
+                    }
+                    row_used = true;
+                    col_used[j] = true;
+                }
+                _ => return false,
+            }
+        }
+    }
+    true
+}
+
+/// Verifies that `c` is the implicit subunit-Monge product of `a` and `b`, i.e. that
+/// `P_C^Σ(i,k) = min_j (P_A^Σ(i,j) + P_B^Σ(j,k))` holds everywhere.
+pub fn verify_product_sub(
+    a: &SubPermutationMatrix,
+    b: &SubPermutationMatrix,
+    c: &SubPermutationMatrix,
+) -> bool {
+    if a.cols_len() != b.rows_len()
+        || c.rows_len() != a.rows_len()
+        || c.cols_len() != b.cols_len()
+    {
+        return false;
+    }
+    let da = DistributionMatrix::from_sub_permutation(a);
+    let db = DistributionMatrix::from_sub_permutation(b);
+    let dc = DistributionMatrix::from_sub_permutation(c);
+    let expected = min_plus_distribution(&da, &db);
+    for i in 0..=a.rows_len() {
+        for k in 0..=b.cols_len() {
+            if dc.get(i, k) != expected[i][k] {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Verifies that `c = a ⊡ b` for permutation matrices.
+pub fn verify_product(
+    a: &PermutationMatrix,
+    b: &PermutationMatrix,
+    c: &PermutationMatrix,
+) -> bool {
+    verify_product_sub(&a.to_sub(), &b.to_sub(), &c.to_sub())
+}
+
+/// Returns the explicit distribution matrix of a sub-permutation matrix as
+/// `Vec<Vec<i64>>`, convenient for feeding [`is_monge`] / [`is_subunit_monge`].
+pub fn explicit_distribution(p: &SubPermutationMatrix) -> Vec<Vec<i64>> {
+    let d = DistributionMatrix::from_sub_permutation(p);
+    (0..=p.rows_len())
+        .map(|i| (0..=p.cols_len()).map(|j| i64::from(d.get(i, j))).collect())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::steady_ant;
+    use rand::prelude::*;
+
+    #[test]
+    fn monge_check_accepts_distribution_matrices() {
+        let p = PermutationMatrix::from_rows(vec![3, 0, 2, 1]);
+        let m = explicit_distribution(&p.to_sub());
+        assert!(is_monge(&m));
+        assert!(is_subunit_monge(&m));
+    }
+
+    #[test]
+    fn monge_check_rejects_non_monge() {
+        let m = vec![vec![0, 1], vec![1, 3]];
+        assert!(!is_monge(&m));
+    }
+
+    #[test]
+    fn subunit_check_rejects_plain_monge() {
+        // Monge but not a distribution matrix of a sub-permutation matrix
+        // (finite difference of 2).
+        let m = vec![vec![0, 0, 0], vec![0, 1, 2], vec![0, 0, 0]];
+        assert!(!is_subunit_monge(&m));
+    }
+
+    #[test]
+    fn verify_product_accepts_steady_ant_output() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut v: Vec<u32> = (0..24).collect();
+        v.shuffle(&mut rng);
+        let a = PermutationMatrix::from_rows(v.clone());
+        v.shuffle(&mut rng);
+        let b = PermutationMatrix::from_rows(v);
+        let c = steady_ant::mul(&a, &b);
+        assert!(verify_product(&a, &b, &c));
+    }
+
+    #[test]
+    fn verify_product_rejects_wrong_answer() {
+        let a = PermutationMatrix::from_rows(vec![1, 0, 2]);
+        let b = PermutationMatrix::from_rows(vec![2, 1, 0]);
+        let wrong = PermutationMatrix::identity(3);
+        let right = steady_ant::mul(&a, &b);
+        if wrong != right {
+            assert!(!verify_product(&a, &b, &wrong));
+        }
+        assert!(verify_product(&a, &b, &right));
+    }
+}

@@ -1,0 +1,541 @@
+//! The simulated cluster and its O(1)-round primitives.
+
+use crate::config::MpcConfig;
+use crate::costs;
+use crate::distvec::DistVec;
+use crate::ledger::Ledger;
+use rayon::prelude::*;
+
+/// A simulated MPC cluster: machine layout, space budget and accounting ledger.
+///
+/// All primitives take `&mut self` so that every data movement is recorded. Per-item
+/// and per-group local work runs in parallel with rayon — the simulator is itself a
+/// shared-memory parallel program, which is what makes the larger experiments
+/// tractable — but the *accounting* is strictly per the MPC model.
+pub struct Cluster {
+    config: MpcConfig,
+    ledger: Ledger,
+    phase: Option<String>,
+}
+
+impl Cluster {
+    /// Creates a cluster with the given configuration.
+    pub fn new(config: MpcConfig) -> Self {
+        Self {
+            config,
+            ledger: Ledger::default(),
+            phase: None,
+        }
+    }
+
+    /// The cluster configuration.
+    pub fn config(&self) -> &MpcConfig {
+        &self.config
+    }
+
+    /// The accounting ledger.
+    pub fn ledger(&self) -> &Ledger {
+        &self.ledger
+    }
+
+    /// Number of rounds charged so far.
+    pub fn rounds(&self) -> u64 {
+        self.ledger.rounds
+    }
+
+    /// Resets the ledger (configuration is kept).
+    pub fn reset_ledger(&mut self) {
+        self.ledger = Ledger::default();
+    }
+
+    /// Sets the label under which subsequent rounds are attributed
+    /// (pass `None` to clear).
+    pub fn set_phase<S: Into<String>>(&mut self, label: Option<S>) {
+        self.phase = label.map(Into::into);
+    }
+
+    /// Manually charges `rounds` rounds (for modelling a step outside the provided
+    /// primitives).
+    pub fn charge_rounds(&mut self, primitive: &'static str, rounds: u64) {
+        self.ledger.charge(primitive, rounds, self.phase.as_deref());
+    }
+
+    fn charge(&mut self, primitive: &'static str, rounds: u64) {
+        self.ledger.charge(primitive, rounds, self.phase.as_deref());
+    }
+
+    fn observe<T>(&mut self, dv: &DistVec<T>, context: &'static str) {
+        let violated = self.ledger.observe_loads(dv.loads(), self.config.space);
+        if violated && self.config.enforce_space {
+            panic!(
+                "MPC space budget exceeded in `{context}`: max load {} > s = {} \
+                 (n = {}, δ = {})",
+                dv.max_load(),
+                self.config.space,
+                self.config.n,
+                self.config.delta
+            );
+        }
+    }
+
+    /// Splits items evenly across machines (block distribution).
+    fn balance<T: Send>(&self, mut items: Vec<T>) -> Vec<Vec<T>> {
+        let m = self.config.machines;
+        let total = items.len();
+        let per = total.div_ceil(m.max(1)).max(1);
+        let mut parts: Vec<Vec<T>> = Vec::with_capacity(m);
+        // Draining from the back keeps this O(n); reverse chunk order afterwards.
+        let mut rest = items.split_off(0);
+        for _ in 0..m {
+            let take = per.min(rest.len());
+            let tail = rest.split_off(take);
+            parts.push(rest);
+            rest = tail;
+        }
+        if !rest.is_empty() {
+            // More items than m * per can only happen when m == 0 was clamped; append.
+            parts.last_mut().expect("at least one machine").extend(rest);
+        }
+        parts
+    }
+
+    // ---------------------------------------------------------------------------
+    // Data placement
+    // ---------------------------------------------------------------------------
+
+    /// Places the input on the cluster (the model assumes the input starts out
+    /// distributed, so this charges no rounds).
+    pub fn distribute<T: Send>(&mut self, items: Vec<T>) -> DistVec<T> {
+        self.charge("distribute", costs::DISTRIBUTE);
+        let dv = DistVec::from_parts(self.balance(items));
+        self.observe(&dv, "distribute");
+        dv
+    }
+
+    /// Reads the final result off the cluster (not charged; do not use mid-algorithm).
+    pub fn collect<T>(&mut self, dv: DistVec<T>) -> Vec<T> {
+        dv.into_inner()
+    }
+
+    // ---------------------------------------------------------------------------
+    // Local computation (no communication)
+    // ---------------------------------------------------------------------------
+
+    /// Applies `f` to every item locally on its machine. Charges no rounds — purely
+    /// local work is folded into the adjacent communicating supersteps, as in the
+    /// model.
+    pub fn map<T, U, F>(&mut self, dv: &DistVec<T>, f: F) -> DistVec<U>
+    where
+        T: Sync,
+        U: Send,
+        F: Fn(&T) -> U + Sync,
+    {
+        self.charge("map", costs::LOCAL);
+        let parts = dv
+            .parts
+            .par_iter()
+            .map(|part| part.iter().map(&f).collect())
+            .collect();
+        let out = DistVec::from_parts(parts);
+        self.observe(&out, "map");
+        out
+    }
+
+    /// Applies `f` to every machine's local slice, producing a new local slice.
+    /// Charges no rounds (purely local).
+    pub fn map_parts<T, U, F>(&mut self, dv: &DistVec<T>, f: F) -> DistVec<U>
+    where
+        T: Sync,
+        U: Send,
+        F: Fn(usize, &[T]) -> Vec<U> + Sync,
+    {
+        self.charge("map_parts", costs::LOCAL);
+        let parts = dv
+            .parts
+            .par_iter()
+            .enumerate()
+            .map(|(i, part)| f(i, part))
+            .collect();
+        let out = DistVec::from_parts(parts);
+        self.observe(&out, "map_parts");
+        out
+    }
+
+    // ---------------------------------------------------------------------------
+    // GSZ primitives
+    // ---------------------------------------------------------------------------
+
+    /// Deterministic sorting (Lemma 2.5): sorts all items by `key` and rebalances.
+    pub fn sort_by_key<T, K, F>(&mut self, dv: DistVec<T>, key: F) -> DistVec<T>
+    where
+        T: Send,
+        K: Ord + Send,
+        F: Fn(&T) -> K + Sync,
+    {
+        self.charge("sort", costs::SORT);
+        let total = dv.len() as u64;
+        self.ledger.communicate(total);
+        let mut items: Vec<T> = dv.into_inner();
+        items.par_sort_by(|a, b| key(a).cmp(&key(b)));
+        let out = DistVec::from_parts(self.balance(items));
+        self.observe(&out, "sort_by_key");
+        out
+    }
+
+    /// Prefix sums (Lemma 2.4): returns, for every item in the global order of `dv`,
+    /// the sum of `weight` over all strictly earlier items (exclusive prefix sum),
+    /// paired with the item.
+    pub fn prefix_sums<T, F>(&mut self, dv: DistVec<T>, weight: F) -> DistVec<(T, u64)>
+    where
+        T: Send,
+        F: Fn(&T) -> u64 + Sync,
+    {
+        self.charge("prefix_sum", costs::PREFIX_SUM);
+        // Per-machine partial sums are exchanged (o(s) words); items stay in place.
+        self.ledger.communicate(dv.machines() as u64);
+        let mut running = 0u64;
+        let parts = dv
+            .parts
+            .into_iter()
+            .map(|part| {
+                part.into_iter()
+                    .map(|item| {
+                        let w = weight(&item);
+                        let out = (item, running);
+                        running += w;
+                        out
+                    })
+                    .collect()
+            })
+            .collect();
+        let out = DistVec::from_parts(parts);
+        self.observe(&out, "prefix_sums");
+        out
+    }
+
+    /// Offline rank searching (Lemma 2.6), generalized to *grouped* queries: for
+    /// every query, counts the values that share its group key and are strictly
+    /// smaller than the query value. Returns each query paired with its count, in an
+    /// arbitrary (rebalanced) distribution.
+    pub fn rank_search<T, Q, K, FV, FQ>(
+        &mut self,
+        values: &DistVec<T>,
+        vkey: FV,
+        queries: DistVec<Q>,
+        qkey: FQ,
+    ) -> DistVec<(Q, u64)>
+    where
+        T: Sync,
+        Q: Send,
+        K: Ord + Send + Sync,
+        FV: Fn(&T) -> (K, u64) + Sync,
+        FQ: Fn(&Q) -> (K, u64) + Sync,
+    {
+        self.charge("rank_search", costs::RANK_SEARCH);
+        self.ledger
+            .communicate(values.len() as u64 + 2 * queries.len() as u64);
+
+        // Globally sort the value keys once; answer each query by binary search in
+        // its group's slice. (The simulated cost model already charged the sort +
+        // prefix-sum rounds above.)
+        let mut keyed: Vec<(K, u64)> = values.iter().map(|v| vkey(v)).collect();
+        keyed.par_sort();
+        let answer = |q: &Q| -> u64 {
+            let (group, threshold) = qkey(q);
+            let lo = keyed.partition_point(|(g, _)| *g < group);
+            let hi = keyed[lo..].partition_point(|(g, v)| *g == group && *v < threshold);
+            hi as u64
+        };
+        let parts: Vec<Vec<(Q, u64)>> = queries
+            .parts
+            .into_par_iter()
+            .map(|part| {
+                part.into_iter()
+                    .map(|q| {
+                        let c = answer(&q);
+                        (q, c)
+                    })
+                    .collect()
+            })
+            .collect();
+        let out = DistVec::from_parts(parts);
+        self.observe(&out, "rank_search");
+        out
+    }
+
+    /// Groups items by key, places every group on a single machine (greedy packing)
+    /// and applies `f` to each group. The group key and its items are passed by
+    /// value; the outputs of all groups are left distributed as packed.
+    ///
+    /// This is the workhorse for "solve each subproblem locally" steps; a group
+    /// larger than the space budget is a space violation.
+    pub fn group_map<T, K, U, FK, F>(&mut self, dv: DistVec<T>, key: FK, f: F) -> DistVec<U>
+    where
+        T: Send,
+        K: Ord + Send + std::hash::Hash + Clone + Sync,
+        U: Send,
+        FK: Fn(&T) -> K + Sync,
+        F: Fn(&K, Vec<T>) -> Vec<U> + Sync + Send,
+    {
+        self.charge("group_map", costs::GROUP_MAP);
+        self.ledger.communicate(dv.len() as u64);
+
+        // Gather groups.
+        let mut items: Vec<T> = dv.into_inner();
+        let mut keyed: Vec<(K, T)> = items.drain(..).map(|t| (key(&t), t)).collect();
+        keyed.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut groups: Vec<(K, Vec<T>)> = Vec::new();
+        for (k, t) in keyed {
+            match groups.last_mut() {
+                Some((gk, items)) if *gk == k => items.push(t),
+                _ => groups.push((k, vec![t])),
+            }
+        }
+
+        // Greedy packing: largest groups first, each into the currently lightest
+        // machine (the classical LPT heuristic); mirrors §3.3's "sort them in the
+        // order of decreasing sizes and use greedy packing".
+        let m = self.config.machines;
+        let mut order: Vec<usize> = (0..groups.len()).collect();
+        order.sort_by_key(|&g| std::cmp::Reverse(groups[g].1.len()));
+        let mut machine_of_group = vec![0usize; groups.len()];
+        let mut loads = vec![0usize; m];
+        for &g in &order {
+            let target = (0..m).min_by_key(|&i| loads[i]).unwrap_or(0);
+            machine_of_group[g] = target;
+            loads[target] += groups[g].1.len();
+        }
+        let violated = self.ledger.observe_loads(loads.iter().copied(), self.config.space);
+        if violated && self.config.enforce_space {
+            panic!(
+                "MPC space budget exceeded in `group_map`: max packed load {} > s = {}",
+                loads.iter().max().copied().unwrap_or(0),
+                self.config.space
+            );
+        }
+
+        // Run every group (in parallel), then collect results onto their machines.
+        let results: Vec<(usize, Vec<U>)> = groups
+            .into_par_iter()
+            .zip(machine_of_group.par_iter().copied())
+            .map(|((k, items), machine)| (machine, f(&k, items)))
+            .collect();
+        let mut parts: Vec<Vec<U>> = (0..m).map(|_| Vec::new()).collect();
+        for (machine, mut out) in results {
+            parts[machine].append(&mut out);
+        }
+        let out = DistVec::from_parts(parts);
+        self.observe(&out, "group_map");
+        out
+    }
+
+    /// Concatenates two distributed vectors machine-wise (no data movement, no
+    /// rounds): machine `i` simply owns both its parts.
+    pub fn concat<T: Send>(&mut self, a: DistVec<T>, b: DistVec<T>) -> DistVec<T> {
+        self.charge("concat", costs::LOCAL);
+        let mut parts: Vec<Vec<T>> = a.parts;
+        let m = parts.len().max(b.parts.len()).max(self.config.machines);
+        parts.resize_with(m, Vec::new);
+        for (i, mut p) in b.parts.into_iter().enumerate() {
+            parts[i].append(&mut p);
+        }
+        let out = DistVec::from_parts(parts);
+        self.observe(&out, "concat");
+        out
+    }
+
+    /// Keeps only the items for which `keep` returns true (purely local).
+    pub fn filter<T, F>(&mut self, dv: DistVec<T>, keep: F) -> DistVec<T>
+    where
+        T: Send,
+        F: Fn(&T) -> bool + Sync,
+    {
+        self.charge("filter", costs::LOCAL);
+        let parts = dv
+            .parts
+            .into_par_iter()
+            .map(|part| part.into_iter().filter(|t| keep(t)).collect())
+            .collect();
+        let out = DistVec::from_parts(parts);
+        self.observe(&out, "filter");
+        out
+    }
+
+    /// Applies `f` to every item and flattens the results (purely local).
+    pub fn flat_map<T, U, F>(&mut self, dv: &DistVec<T>, f: F) -> DistVec<U>
+    where
+        T: Sync,
+        U: Send,
+        F: Fn(&T) -> Vec<U> + Sync,
+    {
+        self.charge("flat_map", costs::LOCAL);
+        let parts = dv
+            .parts
+            .par_iter()
+            .map(|part| part.iter().flat_map(&f).collect())
+            .collect();
+        let out = DistVec::from_parts(parts);
+        self.observe(&out, "flat_map");
+        out
+    }
+
+    /// Creates an empty distributed vector.
+    pub fn empty<T: Send>(&mut self) -> DistVec<T> {
+        DistVec::from_parts((0..self.config.machines).map(|_| Vec::new()).collect())
+    }
+
+    /// Broadcasts a small value to all machines (Õ(s) words per machine).
+    pub fn broadcast<T: Clone>(&mut self, value: T) -> T {
+        self.charge("broadcast", costs::BROADCAST);
+        self.ledger.communicate(self.config.machines as u64);
+        value
+    }
+
+    /// Computes the inverse of a permutation given as `(index, value)` pairs
+    /// (Lemma 2.3): each pair `(i, p_i)` is routed to the machine responsible for
+    /// `p_i` and stored as `(p_i, i)`.
+    pub fn inverse_permutation(&mut self, dv: DistVec<(u32, u32)>) -> DistVec<(u32, u32)> {
+        self.charge("inverse_permutation", costs::INVERSE_PERMUTATION);
+        self.ledger.communicate(dv.len() as u64);
+        let swapped: Vec<(u32, u32)> = dv.into_inner().into_iter().map(|(i, p)| (p, i)).collect();
+        let mut items = swapped;
+        items.par_sort_unstable();
+        let out = DistVec::from_parts(self.balance(items));
+        self.observe(&out, "inverse_permutation");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+
+    fn cluster(n: usize, delta: f64) -> Cluster {
+        Cluster::new(MpcConfig::new(n, delta))
+    }
+
+    #[test]
+    fn distribute_balances_items() {
+        let mut cl = cluster(1000, 0.5);
+        let dv = cl.distribute((0..1000u32).collect());
+        assert_eq!(dv.len(), 1000);
+        assert!(dv.max_load() <= cl.config().space);
+        assert_eq!(cl.rounds(), 0);
+    }
+
+    #[test]
+    fn sort_by_key_sorts_globally() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut cl = cluster(5000, 0.5);
+        let mut items: Vec<u32> = (0..5000).collect();
+        items.shuffle(&mut rng);
+        let dv = cl.distribute(items);
+        let sorted = cl.sort_by_key(dv, |&x| x);
+        let flat = sorted.into_inner();
+        assert!(flat.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(cl.rounds(), costs::SORT);
+    }
+
+    #[test]
+    fn prefix_sums_are_exclusive() {
+        let mut cl = cluster(100, 0.5);
+        let dv = cl.distribute(vec![1u64; 100]);
+        let ps = cl.prefix_sums(dv, |&w| w);
+        let flat = ps.into_inner();
+        for (i, (_, sum)) in flat.iter().enumerate() {
+            assert_eq!(*sum, i as u64);
+        }
+    }
+
+    #[test]
+    fn rank_search_counts_smaller_values_per_group() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut cl = cluster(2000, 0.5);
+        let values: Vec<(u32, u64)> = (0..2000)
+            .map(|_| (rng.gen_range(0..5), rng.gen_range(0..1000)))
+            .collect();
+        let queries: Vec<(u32, u64)> = (0..500)
+            .map(|_| (rng.gen_range(0..6), rng.gen_range(0..1100)))
+            .collect();
+        let vdv = cl.distribute(values.clone());
+        let qdv = cl.distribute(queries);
+        let answered = cl.rank_search(&vdv, |&v| v, qdv, |&q| q);
+        for ((group, threshold), count) in answered.into_inner() {
+            let expected = values
+                .iter()
+                .filter(|&&(g, v)| g == group && v < threshold)
+                .count() as u64;
+            assert_eq!(count, expected);
+        }
+    }
+
+    #[test]
+    fn group_map_runs_each_group_once() {
+        let mut cl = cluster(1000, 0.5);
+        let items: Vec<(u32, u32)> = (0..1000).map(|i| (i % 17, i)).collect();
+        let dv = cl.distribute(items);
+        let out = cl.group_map(
+            dv,
+            |&(g, _)| g,
+            |&g, items| vec![(g, items.len() as u32, items.iter().map(|&(_, v)| v).min().unwrap())],
+        );
+        let mut flat = out.into_inner();
+        flat.sort_unstable();
+        assert_eq!(flat.len(), 17);
+        for (g, count, min) in flat {
+            let expected = (0..1000u32).filter(|i| i % 17 == g).count() as u32;
+            assert_eq!(count, expected);
+            assert_eq!(min, g);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "space budget exceeded")]
+    fn strict_mode_panics_on_oversized_group() {
+        let mut cl = Cluster::new(MpcConfig::new(10_000, 0.5).with_space(10).strict());
+        let items: Vec<u32> = (0..1000).collect();
+        let dv = DistVec::from_parts(vec![items]);
+        // All items share one group: cannot fit on a machine with space 10.
+        let _ = cl.group_map(dv, |_| 0u32, |_, items| items);
+    }
+
+    #[test]
+    fn inverse_permutation_matches_direct_inverse() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 300u32;
+        let mut perm: Vec<u32> = (0..n).collect();
+        perm.shuffle(&mut rng);
+        let mut cl = cluster(n as usize, 0.4);
+        let pairs: Vec<(u32, u32)> = perm.iter().enumerate().map(|(i, &p)| (i as u32, p)).collect();
+        let dv = cl.distribute(pairs);
+        let inv = cl.inverse_permutation(dv).into_inner();
+        for (p, i) in inv {
+            assert_eq!(perm[i as usize], p);
+        }
+    }
+
+    #[test]
+    fn ledger_tracks_phases_and_primitives() {
+        let mut cl = cluster(500, 0.5);
+        cl.set_phase(Some("setup"));
+        let dv = cl.distribute((0..500u32).collect());
+        let dv = cl.sort_by_key(dv, |&x| std::cmp::Reverse(x));
+        cl.set_phase(Some("work"));
+        let _ = cl.sort_by_key(dv, |&x| x);
+        assert_eq!(cl.ledger().rounds_by_phase["setup"], costs::SORT);
+        assert_eq!(cl.ledger().rounds_by_phase["work"], costs::SORT);
+        assert_eq!(cl.ledger().primitive_counts["sort"], 2);
+        assert!(cl.ledger().communication >= 1000);
+    }
+
+    #[test]
+    fn map_charges_no_rounds() {
+        let mut cl = cluster(100, 0.5);
+        let dv = cl.distribute((0..100u32).collect());
+        let doubled = cl.map(&dv, |&x| x * 2);
+        assert_eq!(cl.rounds(), 0);
+        assert_eq!(doubled.len(), 100);
+        assert_eq!(doubled.iter().copied().sum::<u32>(), (0..100).map(|x| x * 2).sum());
+    }
+}

@@ -1,0 +1,110 @@
+//! Configuration of the simulated MPC cluster.
+
+/// Parameters of the simulated cluster.
+///
+/// The defaults follow the paper's model: for an input of size `n` and scalability
+/// parameter `δ ∈ (0, 1)` there are `⌈n^δ⌉` machines with `Θ(n^{1−δ})` space each
+/// (the `Õ(·)` poly-log slack is exposed as [`MpcConfig::space_slack`]).
+#[derive(Clone, Debug)]
+pub struct MpcConfig {
+    /// Problem size the space budget is derived from.
+    pub n: usize,
+    /// Scalability parameter `δ` (fully scalable algorithms must work for any value
+    /// in `(0, 1)`).
+    pub delta: f64,
+    /// Number of machines `m`.
+    pub machines: usize,
+    /// Local space per machine `s`, in items.
+    pub space: usize,
+    /// Whether exceeding `space` should panic (strict mode) or merely be recorded in
+    /// the ledger.
+    pub enforce_space: bool,
+    /// Multiplicative slack applied to `n^{1−δ}` when deriving `space`
+    /// (stands in for the `Õ(·)` poly-log factors of the model).
+    pub space_slack: f64,
+}
+
+impl MpcConfig {
+    /// Builds a configuration for input size `n` and scalability parameter `delta`,
+    /// with a poly-logarithmic slack of `4·log₂(n+2)` on the space budget and
+    /// space enforcement disabled (violations are recorded, not fatal).
+    pub fn new(n: usize, delta: f64) -> Self {
+        assert!(delta > 0.0 && delta < 1.0, "δ must lie strictly between 0 and 1");
+        let nf = n.max(2) as f64;
+        let machines = nf.powf(delta).ceil() as usize;
+        let space_slack = 4.0 * nf.log2();
+        let space = (nf.powf(1.0 - delta) * space_slack).ceil() as usize;
+        Self {
+            n,
+            delta,
+            machines: machines.max(1),
+            space: space.max(16),
+            enforce_space: false,
+            space_slack,
+        }
+    }
+
+    /// Overrides the machine count.
+    pub fn with_machines(mut self, machines: usize) -> Self {
+        self.machines = machines.max(1);
+        self
+    }
+
+    /// Overrides the per-machine space budget.
+    pub fn with_space(mut self, space: usize) -> Self {
+        self.space = space.max(1);
+        self
+    }
+
+    /// Enables strict enforcement: any primitive that would place more than `space`
+    /// items on a machine panics instead of recording a violation.
+    pub fn strict(mut self) -> Self {
+        self.enforce_space = true;
+        self
+    }
+
+    /// The theoretical per-machine space `n^{1−δ}` without the poly-log slack.
+    pub fn base_space(&self) -> usize {
+        (self.n.max(2) as f64).powf(1.0 - self.delta).ceil() as usize
+    }
+
+    /// Total space across all machines.
+    pub fn total_space(&self) -> usize {
+        self.machines.saturating_mul(self.space)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derives_machine_count_and_space() {
+        let cfg = MpcConfig::new(1 << 16, 0.5);
+        assert_eq!(cfg.machines, 256);
+        assert!(cfg.space >= 256, "space must cover n^(1-δ)");
+        assert!(cfg.total_space() >= 1 << 16, "cluster must hold the input");
+    }
+
+    #[test]
+    fn scalability_parameter_changes_shape() {
+        let low = MpcConfig::new(1 << 20, 0.25);
+        let high = MpcConfig::new(1 << 20, 0.75);
+        assert!(low.machines < high.machines);
+        assert!(low.base_space() > high.base_space());
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly between")]
+    fn rejects_delta_one() {
+        MpcConfig::new(100, 1.0);
+    }
+
+    #[test]
+    fn builders() {
+        let cfg = MpcConfig::new(1000, 0.5).with_machines(7).with_space(123).strict();
+        assert_eq!(cfg.machines, 7);
+        assert_eq!(cfg.space, 123);
+        assert!(cfg.enforce_space);
+    }
+}

@@ -1,0 +1,35 @@
+//! Round costs charged by each simulated primitive.
+//!
+//! The paper only uses the fact that each primitive takes `O(1)` rounds; the exact
+//! constants below model a standard implementation (e.g. sample sort: sample →
+//! broadcast pivots → route → local sort) and are exposed so that experiments can
+//! convert measured primitive counts into round counts and vice versa.
+
+/// Rounds charged for distributing the initial input (it is already distributed in
+/// the model, so this is free).
+pub const DISTRIBUTE: u64 = 0;
+
+/// Rounds for a purely local map (no communication).
+pub const LOCAL: u64 = 0;
+
+/// Rounds for deterministic sorting (Lemma 2.5, Goodrich–Sitchinava–Zhang).
+pub const SORT: u64 = 3;
+
+/// Rounds for prefix sums (Lemma 2.4).
+pub const PREFIX_SUM: u64 = 2;
+
+/// Rounds for one all-to-all shuffle (route every item to a machine chosen by key).
+pub const SHUFFLE: u64 = 1;
+
+/// Rounds for broadcasting an `O(s)`-sized value to all machines.
+pub const BROADCAST: u64 = 1;
+
+/// Rounds for offline rank searching (Lemma 2.6): sort + prefix sums + route back.
+pub const RANK_SEARCH: u64 = SORT + PREFIX_SUM + SHUFFLE;
+
+/// Rounds for grouping records by key onto machines and mapping each group
+/// (sort by key + prefix sums for packing + route).
+pub const GROUP_MAP: u64 = SORT + PREFIX_SUM + SHUFFLE;
+
+/// Rounds for computing an inverse permutation (Lemma 2.3): a single shuffle.
+pub const INVERSE_PERMUTATION: u64 = SHUFFLE;

@@ -1,0 +1,88 @@
+//! Accounting of rounds, communication and per-machine load.
+
+use std::collections::BTreeMap;
+
+/// Mutable record of everything the simulated cluster has done so far.
+#[derive(Clone, Debug, Default)]
+pub struct Ledger {
+    /// Total rounds charged.
+    pub rounds: u64,
+    /// Total items communicated (an item moving between machines counts once).
+    pub communication: u64,
+    /// Peak number of items held by a single machine at the end of any superstep.
+    pub max_machine_load: usize,
+    /// Number of supersteps in which some machine exceeded the space budget.
+    pub space_violations: u64,
+    /// Largest per-machine load observed in a violating superstep.
+    pub worst_overload: usize,
+    /// Rounds attributed to each label (see [`crate::Cluster::phase`]).
+    pub rounds_by_phase: BTreeMap<String, u64>,
+    /// Number of primitive invocations by name.
+    pub primitive_counts: BTreeMap<&'static str, u64>,
+}
+
+impl Ledger {
+    /// Records `rounds` rounds of a primitive, attributing them to `phase` when set.
+    pub(crate) fn charge(&mut self, primitive: &'static str, rounds: u64, phase: Option<&str>) {
+        self.rounds += rounds;
+        *self.primitive_counts.entry(primitive).or_default() += 1;
+        if let Some(p) = phase {
+            *self.rounds_by_phase.entry(p.to_string()).or_default() += rounds;
+        }
+    }
+
+    /// Records the load profile after a superstep.
+    pub(crate) fn observe_loads(&mut self, loads: impl Iterator<Item = usize>, space: usize) -> bool {
+        let mut violated = false;
+        for load in loads {
+            self.max_machine_load = self.max_machine_load.max(load);
+            if load > space {
+                violated = true;
+                self.worst_overload = self.worst_overload.max(load);
+            }
+        }
+        if violated {
+            self.space_violations += 1;
+        }
+        violated
+    }
+
+    /// Records communicated items.
+    pub(crate) fn communicate(&mut self, items: u64) {
+        self.communication += items;
+    }
+
+    /// Human-readable one-line summary (used by the experiment binaries).
+    pub fn summary(&self) -> String {
+        format!(
+            "rounds={} comm={} max_load={} violations={}",
+            self.rounds, self.communication, self.max_machine_load, self.space_violations
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charge_accumulates_rounds_and_phases() {
+        let mut ledger = Ledger::default();
+        ledger.charge("sort", 3, Some("split"));
+        ledger.charge("shuffle", 1, Some("split"));
+        ledger.charge("sort", 3, None);
+        assert_eq!(ledger.rounds, 7);
+        assert_eq!(ledger.rounds_by_phase["split"], 4);
+        assert_eq!(ledger.primitive_counts["sort"], 2);
+    }
+
+    #[test]
+    fn observe_loads_tracks_violations() {
+        let mut ledger = Ledger::default();
+        assert!(!ledger.observe_loads([3, 5, 2].into_iter(), 10));
+        assert!(ledger.observe_loads([3, 50, 2].into_iter(), 10));
+        assert_eq!(ledger.max_machine_load, 50);
+        assert_eq!(ledger.space_violations, 1);
+        assert_eq!(ledger.worst_overload, 50);
+    }
+}

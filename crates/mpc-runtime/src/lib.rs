@@ -1,0 +1,35 @@
+//! A deterministic simulator for the Massively Parallel Computation (MPC) model.
+//!
+//! The MPC model (§1.1 of the paper): `m = O(n^δ)` machines, each with local space
+//! `s = Õ(n^{1−δ})`; computation proceeds in synchronous rounds; in every round each
+//! machine computes locally on its data and then exchanges at most `s` words. The
+//! primary complexity measure is the number of rounds.
+//!
+//! This crate replaces the paper's idealized cluster with an in-process simulator:
+//!
+//! * [`MpcConfig`] fixes `n`, `δ`, the machine count and the per-machine space budget.
+//! * [`Cluster`] owns the round/space/communication ledger and executes *supersteps*
+//!   over [`DistVec`]s (vectors partitioned across the virtual machines). Per-machine
+//!   local work runs in parallel with rayon.
+//! * [`Cluster::sort_by_key`], [`Cluster::group_map`], [`Cluster::rank_search`],
+//!   [`Cluster::broadcast`], … implement the deterministic `O(1)`-round primitives of
+//!   Goodrich–Sitchinava–Zhang that the paper invokes (Lemmas 2.3–2.6), each charged a
+//!   fixed constant number of rounds (see [`costs`]).
+//!
+//! The simulator measures exactly the quantities the paper's theorems are about —
+//! rounds, peak per-machine load, total communication — and can either record or
+//! enforce the space budget.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod cluster;
+pub mod config;
+pub mod costs;
+pub mod distvec;
+pub mod ledger;
+
+pub use cluster::Cluster;
+pub use config::MpcConfig;
+pub use distvec::DistVec;
+pub use ledger::Ledger;

@@ -1,0 +1,169 @@
+//! Classical baselines: patience sorting (Fredman), quadratic dynamic programs and
+//! brute-force semi-local oracles used to validate the seaweed-based algorithms.
+
+/// Length of the longest *strictly* increasing subsequence, via patience sorting
+/// (`O(n log n)`, Fredman 1975).
+pub fn lis_length_patience<T: Ord>(seq: &[T]) -> usize {
+    let mut tails: Vec<&T> = Vec::new();
+    for x in seq {
+        // First tail that is ≥ x gets replaced (strict increase ⇒ lower_bound).
+        let pos = tails.partition_point(|&t| t < x);
+        if pos == tails.len() {
+            tails.push(x);
+        } else {
+            tails[pos] = x;
+        }
+    }
+    tails.len()
+}
+
+/// Recovers one longest strictly increasing subsequence (values), `O(n log n)`.
+pub fn lis_values<T: Ord + Clone>(seq: &[T]) -> Vec<T> {
+    if seq.is_empty() {
+        return Vec::new();
+    }
+    let n = seq.len();
+    let mut tails_idx: Vec<usize> = Vec::new();
+    let mut prev: Vec<usize> = vec![usize::MAX; n];
+    for (i, x) in seq.iter().enumerate() {
+        let pos = tails_idx.partition_point(|&t| seq[t] < *x);
+        prev[i] = if pos == 0 { usize::MAX } else { tails_idx[pos - 1] };
+        if pos == tails_idx.len() {
+            tails_idx.push(i);
+        } else {
+            tails_idx[pos] = i;
+        }
+    }
+    let mut out = Vec::with_capacity(tails_idx.len());
+    let mut cur = *tails_idx.last().expect("nonempty");
+    while cur != usize::MAX {
+        out.push(seq[cur].clone());
+        cur = prev[cur];
+    }
+    out.reverse();
+    out
+}
+
+/// Quadratic DP for the longest strictly increasing subsequence (test oracle).
+pub fn lis_length_dp<T: Ord>(seq: &[T]) -> usize {
+    let n = seq.len();
+    let mut best = vec![1usize; n];
+    let mut ans = 0;
+    for i in 0..n {
+        for j in 0..i {
+            if seq[j] < seq[i] {
+                best[i] = best[i].max(best[j] + 1);
+            }
+        }
+        ans = ans.max(best[i]);
+    }
+    ans
+}
+
+/// Classical `O(mn)` dynamic program for the length of the longest common
+/// subsequence.
+pub fn lcs_length_dp<T: PartialEq>(a: &[T], b: &[T]) -> usize {
+    let (m, n) = (a.len(), b.len());
+    let mut prev = vec![0usize; n + 1];
+    let mut cur = vec![0usize; n + 1];
+    for i in 1..=m {
+        for j in 1..=n {
+            cur[j] = if a[i - 1] == b[j - 1] {
+                prev[j - 1] + 1
+            } else {
+                prev[j].max(cur[j - 1])
+            };
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[n]
+}
+
+/// Brute-force semi-local LIS oracle: `result[l][r]` = LIS of `seq[l..r]`
+/// (`O(n³ log n)`; tests only).
+pub fn semi_local_lis_brute<T: Ord>(seq: &[T]) -> Vec<Vec<usize>> {
+    let n = seq.len();
+    (0..=n)
+        .map(|l| {
+            (0..=n)
+                .map(|r| if r >= l { lis_length_patience(&seq[l..r]) } else { 0 })
+                .collect()
+        })
+        .collect()
+}
+
+/// Brute-force semi-local LCS oracle against windows of `b`: `result[l][r]` =
+/// LCS(a, b[l..r]) (tests only).
+pub fn semi_local_lcs_brute<T: PartialEq>(a: &[T], b: &[T]) -> Vec<Vec<usize>> {
+    let n = b.len();
+    (0..=n)
+        .map(|l| {
+            (0..=n)
+                .map(|r| if r >= l { lcs_length_dp(a, &b[l..r]) } else { 0 })
+                .collect()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+
+    #[test]
+    fn patience_matches_dp_on_random_inputs() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..50 {
+            let n = rng.gen_range(0..60);
+            let seq: Vec<u32> = (0..n).map(|_| rng.gen_range(0..30)).collect();
+            assert_eq!(lis_length_patience(&seq), lis_length_dp(&seq), "{seq:?}");
+        }
+    }
+
+    #[test]
+    fn lis_values_is_valid_and_maximal() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..30 {
+            let n = rng.gen_range(1..60);
+            let seq: Vec<u32> = (0..n).map(|_| rng.gen_range(0..40)).collect();
+            let v = lis_values(&seq);
+            assert!(v.windows(2).all(|w| w[0] < w[1]), "not strictly increasing");
+            assert_eq!(v.len(), lis_length_patience(&seq));
+            // v must be a subsequence of seq.
+            let mut it = seq.iter();
+            assert!(v.iter().all(|x| it.any(|y| y == x)), "not a subsequence");
+        }
+    }
+
+    #[test]
+    fn lis_known_cases() {
+        assert_eq!(lis_length_patience::<u32>(&[]), 0);
+        assert_eq!(lis_length_patience(&[5]), 1);
+        assert_eq!(lis_length_patience(&[1, 2, 3, 4]), 4);
+        assert_eq!(lis_length_patience(&[4, 3, 2, 1]), 1);
+        assert_eq!(lis_length_patience(&[3, 1, 4, 1, 5, 9, 2, 6]), 4); // 1 4 5 9 / 1 4 5 6
+        assert_eq!(lis_length_patience(&[2, 2, 2]), 1); // strict
+    }
+
+    #[test]
+    fn lcs_known_cases() {
+        assert_eq!(lcs_length_dp(b"ABCBDAB", b"BDCABA"), 4);
+        assert_eq!(lcs_length_dp(b"", b"ABC"), 0);
+        assert_eq!(lcs_length_dp(b"XYZ", b"XYZ"), 3);
+        assert_eq!(lcs_length_dp(b"ABC", b"DEF"), 0);
+    }
+
+    #[test]
+    fn lcs_of_sorted_is_lis() {
+        // LIS(A) = LCS(sort(A), A) — the reduction the seaweed framework exploits.
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..20 {
+            let n = rng.gen_range(0..40);
+            let mut seq: Vec<u32> = (0..n as u32).collect();
+            seq.shuffle(&mut rng);
+            let mut sorted = seq.clone();
+            sorted.sort_unstable();
+            assert_eq!(lcs_length_dp(&sorted, &seq), lis_length_patience(&seq));
+        }
+    }
+}

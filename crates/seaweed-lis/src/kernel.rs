@@ -1,0 +1,412 @@
+//! The semi-local seaweed kernel `P_{X,Y}` and its algebra.
+//!
+//! For strings `X` (length `m`) and `Y` (length `n`), the *seaweed braid* of the
+//! alignment grid defines a permutation of size `m + n` mapping the `m + n`
+//! seaweeds' entry points (left boundary + top boundary) to their exit points
+//! (bottom boundary + right boundary). This permutation — the *kernel* — encodes the
+//! whole semi-local LCS information of the pair: the LCS of `X` against any window
+//! `Y[l..r)` can be read off with a single dominance count (see
+//! [`SeaweedKernel::lcs_window`]).
+//!
+//! Index conventions (0-based everywhere):
+//!
+//! * entry `e < m`   — left boundary, rows numbered **bottom to top** (`e = m-1-row`),
+//! * entry `m + c`   — top boundary, column `c`, left to right,
+//! * exit  `x < n`   — bottom boundary, column `x`, left to right,
+//! * exit  `n + e`   — right boundary, rows numbered **bottom to top** (`e = m-1-row`).
+//!
+//! Under these conventions the concatenation law is exactly the implicit unit-Monge
+//! multiplication of the paper:
+//! `P_{X, Y₁Y₂} = (P_{X,Y₁} ⊕ I_{n₂}) ⊡ (I_{n₁} ⊕ P_{X,Y₂})`
+//! (see [`compose_horizontal`]), which is why Theorem 1.1/1.2 immediately yield
+//! parallel LIS and LCS algorithms.
+
+use monge::{mul, PermutationMatrix};
+use monge::dominance::DominanceCounter;
+
+/// The semi-local kernel of a pair of strings (a permutation of size `m + n`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SeaweedKernel {
+    m: usize,
+    n: usize,
+    perm: PermutationMatrix,
+}
+
+impl SeaweedKernel {
+    /// Builds a kernel from raw parts.
+    ///
+    /// # Panics
+    /// Panics if the permutation size is not `m + n`.
+    pub fn from_parts(m: usize, n: usize, perm: PermutationMatrix) -> Self {
+        assert_eq!(perm.size(), m + n, "kernel permutation must have size m + n");
+        Self { m, n, perm }
+    }
+
+    /// Computes the kernel of `(x, y)` by direct seaweed combing: `O(mn)` time,
+    /// `O((m+n)²/64)` bits for the crossing history. This is the ground-truth
+    /// construction; the divide-and-conquer constructions in [`crate::lis`] produce
+    /// identical kernels using `⊡`.
+    pub fn comb(x: &[u32], y: &[u32]) -> Self {
+        let (m, n) = (x.len(), y.len());
+        let total = m + n;
+        // crossed[a * total + b] records whether seaweeds a and b have crossed.
+        let mut crossed = CrossingSet::new(total);
+
+        // Seaweed ids equal their entry index: left row i enters as id m-1-i,
+        // top column j enters as id m + j.
+        let mut col_cur: Vec<u32> = (0..n as u32).map(|j| m as u32 + j).collect();
+        let mut exits = vec![0u32; total];
+
+        for i in 0..m {
+            let mut row_cur = (m - 1 - i) as u32;
+            for j in 0..n {
+                let top = col_cur[j];
+                let left = row_cur;
+                let is_match = x[i] == y[j];
+                let cross = !is_match && !crossed.contains(top, left);
+                if cross {
+                    crossed.insert(top, left);
+                    // top continues down, left continues right: nothing to swap.
+                } else {
+                    // Bounce: the top seaweed turns right, the left seaweed turns down.
+                    col_cur[j] = left;
+                    row_cur = top;
+                }
+            }
+            // row_cur exits through the right boundary of row i.
+            exits[row_cur as usize] = (n + (m - 1 - i)) as u32;
+        }
+        for (j, &id) in col_cur.iter().enumerate() {
+            exits[id as usize] = j as u32;
+        }
+        Self {
+            m,
+            n,
+            perm: PermutationMatrix::from_rows(exits),
+        }
+    }
+
+    /// Length of `X`.
+    pub fn x_len(&self) -> usize {
+        self.m
+    }
+
+    /// Length of `Y`.
+    pub fn y_len(&self) -> usize {
+        self.n
+    }
+
+    /// The underlying permutation (entry → exit).
+    pub fn permutation(&self) -> &PermutationMatrix {
+        &self.perm
+    }
+
+    /// Exit point of the seaweed entering at `entry`.
+    pub fn exit_of(&self, entry: usize) -> usize {
+        self.perm.col_of(entry)
+    }
+
+    /// LCS of `X` against the window `Y[l..r)`, by counting the seaweeds that both
+    /// enter the top boundary at column ≥ `l` and leave the bottom boundary at
+    /// column < `r`:
+    ///
+    /// `LCS(X, Y[l..r)) = (r − l) − #{top-entry ≥ l, bottom-exit < r}`.
+    ///
+    /// `O(m + n)` per query; use [`SemiLocalQueries`] for many queries.
+    pub fn lcs_window(&self, l: usize, r: usize) -> usize {
+        assert!(l <= r && r <= self.n, "window [{l}, {r}) out of range");
+        let crossing = (self.m + l..self.m + self.n)
+            .filter(|&e| self.perm.col_of(e) < r)
+            .count();
+        (r - l) - crossing
+    }
+
+    /// Builds an indexed query structure answering [`Self::lcs_window`] in
+    /// `O(log² n)` per query.
+    pub fn queries(&self) -> SemiLocalQueries {
+        let points: Vec<(u32, u32)> = (self.m..self.m + self.n)
+            .filter_map(|e| {
+                let exit = self.perm.col_of(e);
+                (exit < self.n).then_some(((e - self.m) as u32, exit as u32))
+            })
+            .collect();
+        SemiLocalQueries {
+            n: self.n,
+            counter: DominanceCounter::new(&points),
+        }
+    }
+
+    /// Inflates a kernel computed over a *sub-alphabet* of `X` back to the full
+    /// alphabet.
+    ///
+    /// `self` must be the kernel of `(identity over the |values| present symbols, Y)`;
+    /// `values` lists, in increasing order, which rows of the full `m_big`-row grid
+    /// those symbols correspond to. Rows of the full grid that carry no symbol have
+    /// no match cells, so their seaweed passes straight from the left boundary to the
+    /// right boundary and every other seaweed is unaffected.
+    pub fn inflate_rows(&self, values: &[usize], m_big: usize) -> Self {
+        assert_eq!(values.len(), self.m, "values must list every present row");
+        assert!(values.windows(2).all(|w| w[0] < w[1]), "values must be increasing");
+        assert!(values.last().is_none_or(|&v| v < m_big));
+        let (m_small, n) = (self.m, self.n);
+        let mut exits = vec![u32::MAX; m_big + n];
+
+        // Small right-exit index → big right-exit index.
+        let map_exit = |exit: usize| -> u32 {
+            if exit < n {
+                exit as u32
+            } else {
+                let small_row = m_small - 1 - (exit - n);
+                let big_row = values[small_row];
+                (n + (m_big - 1 - big_row)) as u32
+            }
+        };
+
+        // Present left entries and all top entries follow the small kernel.
+        for small_row in 0..m_small {
+            let big_row = values[small_row];
+            let small_entry = m_small - 1 - small_row;
+            let big_entry = m_big - 1 - big_row;
+            exits[big_entry] = map_exit(self.perm.col_of(small_entry));
+        }
+        for c in 0..n {
+            exits[m_big + c] = map_exit(self.perm.col_of(m_small + c));
+        }
+        // Absent rows pass straight through.
+        let present: std::collections::HashSet<usize> = values.iter().copied().collect();
+        for row in 0..m_big {
+            if !present.contains(&row) {
+                exits[m_big - 1 - row] = (n + (m_big - 1 - row)) as u32;
+            }
+        }
+        debug_assert!(exits.iter().all(|&e| e != u32::MAX));
+        Self {
+            m: m_big,
+            n,
+            perm: PermutationMatrix::from_rows(exits),
+        }
+    }
+}
+
+/// Builds the two padded permutation matrices whose implicit unit-Monge product is
+/// the kernel of the concatenation: `P_{X,Y₁Y₂} = (P₁ ⊕ I_{n₂}) ⊡ (I_{n₁} ⊕ P₂)`.
+///
+/// Exposed separately so that callers can route the `⊡` through a different
+/// multiplication engine (the MPC algorithm of `monge-mpc` in particular).
+pub fn compose_operands(
+    k1: &SeaweedKernel,
+    k2: &SeaweedKernel,
+) -> (PermutationMatrix, PermutationMatrix) {
+    assert_eq!(k1.m, k2.m, "both kernels must share the same X");
+    let (m, n1, n2) = (k1.m, k1.n, k2.n);
+    let big = m + n1 + n2;
+
+    // P₁ ⊕ I_{n₂}: the first grid transforms {left, top₁} and leaves top₂ untouched.
+    let mut p1 = vec![0u32; big];
+    for e in 0..m + n1 {
+        p1[e] = k1.perm.col_of(e) as u32;
+    }
+    for c in 0..n2 {
+        p1[m + n1 + c] = (n1 + m + c) as u32;
+    }
+    // I_{n₁} ⊕ P₂: the second grid leaves bottom₁ untouched and transforms {mid, top₂}.
+    let mut p2 = vec![0u32; big];
+    for (b, item) in p2.iter_mut().enumerate().take(n1) {
+        *item = b as u32;
+    }
+    for e in 0..m + n2 {
+        p2[n1 + e] = (n1 + k2.perm.col_of(e)) as u32;
+    }
+    (
+        PermutationMatrix::from_rows(p1),
+        PermutationMatrix::from_rows(p2),
+    )
+}
+
+/// Wraps the product of [`compose_operands`] back into a kernel for `Y₁ ◦ Y₂`.
+pub fn compose_from_product(
+    k1: &SeaweedKernel,
+    k2: &SeaweedKernel,
+    product: PermutationMatrix,
+) -> SeaweedKernel {
+    assert_eq!(product.size(), k1.m + k1.n + k2.n);
+    SeaweedKernel {
+        m: k1.m,
+        n: k1.n + k2.n,
+        perm: product,
+    }
+}
+
+/// Horizontal composition: the kernel of `(X, Y₁ ◦ Y₂)` from the kernels of
+/// `(X, Y₁)` and `(X, Y₂)`, via a single implicit unit-Monge multiplication.
+pub fn compose_horizontal(k1: &SeaweedKernel, k2: &SeaweedKernel) -> SeaweedKernel {
+    let (p1, p2) = compose_operands(k1, k2);
+    compose_from_product(k1, k2, mul(&p1, &p2))
+}
+
+/// Indexed semi-local query structure produced by [`SeaweedKernel::queries`].
+#[derive(Clone, Debug)]
+pub struct SemiLocalQueries {
+    n: usize,
+    counter: DominanceCounter,
+}
+
+impl SemiLocalQueries {
+    /// LCS of `X` against `Y[l..r)` in `O(log² n)`.
+    pub fn lcs_window(&self, l: usize, r: usize) -> usize {
+        assert!(l <= r && r <= self.n, "window [{l}, {r}) out of range");
+        let crossing = self.counter.count_row_ge_col_lt(l as u32, r as u32);
+        (r - l) - crossing
+    }
+
+    /// Length of `Y`.
+    pub fn y_len(&self) -> usize {
+        self.n
+    }
+}
+
+/// Dense bitset recording which unordered seaweed pairs have crossed.
+struct CrossingSet {
+    total: usize,
+    bits: Vec<u64>,
+}
+
+impl CrossingSet {
+    fn new(total: usize) -> Self {
+        let words = (total * total).div_ceil(64);
+        Self {
+            total,
+            bits: vec![0; words.max(1)],
+        }
+    }
+
+    fn index(&self, a: u32, b: u32) -> usize {
+        let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+        lo as usize * self.total + hi as usize
+    }
+
+    fn contains(&self, a: u32, b: u32) -> bool {
+        let i = self.index(a, b);
+        self.bits[i / 64] >> (i % 64) & 1 == 1
+    }
+
+    fn insert(&mut self, a: u32, b: u32) {
+        let i = self.index(a, b);
+        self.bits[i / 64] |= 1 << (i % 64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baselines::lcs_length_dp;
+    use rand::prelude::*;
+
+    fn random_string(len: usize, alphabet: u32, rng: &mut StdRng) -> Vec<u32> {
+        (0..len).map(|_| rng.gen_range(0..alphabet)).collect()
+    }
+
+    #[test]
+    fn kernel_is_a_permutation_of_size_m_plus_n() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let x = random_string(7, 3, &mut rng);
+        let y = random_string(11, 3, &mut rng);
+        let k = SeaweedKernel::comb(&x, &y);
+        assert_eq!(k.permutation().size(), 18);
+        assert_eq!(k.x_len(), 7);
+        assert_eq!(k.y_len(), 11);
+    }
+
+    #[test]
+    fn window_queries_match_dp_lcs() {
+        // The defining semi-local property of the kernel.
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..25 {
+            let m = rng.gen_range(1..12);
+            let n = rng.gen_range(1..14);
+            let alphabet = rng.gen_range(2..5);
+            let x = random_string(m, alphabet, &mut rng);
+            let y = random_string(n, alphabet, &mut rng);
+            let k = SeaweedKernel::comb(&x, &y);
+            let q = k.queries();
+            for l in 0..=n {
+                for r in l..=n {
+                    let expected = lcs_length_dp(&x, &y[l..r]);
+                    assert_eq!(k.lcs_window(l, r), expected, "x={x:?} y={y:?} [{l},{r})");
+                    assert_eq!(q.lcs_window(l, r), expected);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_windows_and_full_window() {
+        let x = vec![0u32, 1, 2];
+        let y = vec![2u32, 0, 1, 2];
+        let k = SeaweedKernel::comb(&x, &y);
+        assert_eq!(k.lcs_window(2, 2), 0);
+        assert_eq!(k.lcs_window(0, 4), lcs_length_dp(&x, &y));
+    }
+
+    #[test]
+    fn composition_matches_direct_combing() {
+        // P_{X, Y₁Y₂} = (P_{X,Y₁} ⊕ I) ⊡ (I ⊕ P_{X,Y₂})
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..30 {
+            let m = rng.gen_range(1..9);
+            let n1 = rng.gen_range(1..9);
+            let n2 = rng.gen_range(1..9);
+            let alphabet = rng.gen_range(2..5);
+            let x = random_string(m, alphabet, &mut rng);
+            let y1 = random_string(n1, alphabet, &mut rng);
+            let y2 = random_string(n2, alphabet, &mut rng);
+            let k1 = SeaweedKernel::comb(&x, &y1);
+            let k2 = SeaweedKernel::comb(&x, &y2);
+            let composed = compose_horizontal(&k1, &k2);
+            let y: Vec<u32> = y1.iter().chain(y2.iter()).copied().collect();
+            let direct = SeaweedKernel::comb(&x, &y);
+            assert_eq!(composed, direct, "x={x:?} y1={y1:?} y2={y2:?}");
+        }
+    }
+
+    #[test]
+    fn composition_is_associative_via_kernels() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let x = random_string(6, 3, &mut rng);
+        let ys: Vec<Vec<u32>> = (0..3).map(|_| random_string(5, 3, &mut rng)).collect();
+        let ks: Vec<SeaweedKernel> = ys.iter().map(|y| SeaweedKernel::comb(&x, y)).collect();
+        let left = compose_horizontal(&compose_horizontal(&ks[0], &ks[1]), &ks[2]);
+        let right = compose_horizontal(&ks[0], &compose_horizontal(&ks[1], &ks[2]));
+        assert_eq!(left, right);
+    }
+
+    #[test]
+    fn inflation_matches_full_grid_combing() {
+        // Kernel over the present symbols, inflated, equals the kernel over the full
+        // identity alphabet.
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..30 {
+            let m_big = rng.gen_range(2..12);
+            let k = rng.gen_range(1..=m_big);
+            // Choose k distinct "present" rows and a sequence over them.
+            let mut rows: Vec<usize> = (0..m_big).collect();
+            rows.shuffle(&mut rng);
+            let mut present: Vec<usize> = rows[..k].to_vec();
+            present.sort_unstable();
+            let len = rng.gen_range(1..10);
+            let y_big: Vec<u32> = (0..len)
+                .map(|_| present[rng.gen_range(0..k)] as u32)
+                .collect();
+            // Relabel to the compact alphabet 0..k.
+            let rank = |v: u32| present.iter().position(|&p| p == v as usize).unwrap() as u32;
+            let y_small: Vec<u32> = y_big.iter().map(|&v| rank(v)).collect();
+
+            let x_small: Vec<u32> = (0..k as u32).collect();
+            let x_big: Vec<u32> = (0..m_big as u32).collect();
+            let small = SeaweedKernel::comb(&x_small, &y_small);
+            let inflated = small.inflate_rows(&present, m_big);
+            let direct = SeaweedKernel::comb(&x_big, &y_big);
+            assert_eq!(inflated, direct, "present={present:?} y={y_big:?}");
+        }
+    }
+}

@@ -1,0 +1,157 @@
+//! LCS via the seaweed framework and via the Hunt–Szymanski reduction to LIS.
+//!
+//! Corollary 1.3.1 of the paper obtains an MPC LCS algorithm by listing all matching
+//! pairs of the two strings in lexicographic order and running LIS on the second
+//! coordinates (Hunt & Szymanski 1977). This module implements that reduction
+//! sequentially, plus semi-local LCS queries through the combing kernel
+//! (the sequential counterpart of Corollary 1.3.3).
+
+use crate::baselines::lis_length_patience;
+use crate::kernel::{SeaweedKernel, SemiLocalQueries};
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// Lists all matching pairs `(i, j)` with `a[i] == b[j]`, sorted by `i` ascending and,
+/// within equal `i`, by `j` descending — the order required by the Hunt–Szymanski
+/// reduction. The number of pairs can be as large as `|a| · |b|`.
+pub fn hunt_szymanski_pairs<T: Eq + Hash>(a: &[T], b: &[T]) -> Vec<(u32, u32)> {
+    let mut positions: HashMap<&T, Vec<u32>> = HashMap::new();
+    for (j, y) in b.iter().enumerate() {
+        positions.entry(y).or_default().push(j as u32);
+    }
+    let mut pairs = Vec::new();
+    for (i, x) in a.iter().enumerate() {
+        if let Some(js) = positions.get(x) {
+            // js is ascending; emit descending.
+            pairs.extend(js.iter().rev().map(|&j| (i as u32, j)));
+        }
+    }
+    pairs
+}
+
+/// LCS length via the Hunt–Szymanski reduction: the longest strictly increasing
+/// subsequence (in the second coordinate) of the match-pair list equals the LCS.
+/// Runs in `O((|a| + |b| + M) log M)` where `M` is the number of matching pairs.
+pub fn lcs_via_lis<T: Eq + Hash>(a: &[T], b: &[T]) -> usize {
+    let pairs = hunt_szymanski_pairs(a, b);
+    let seconds: Vec<u32> = pairs.iter().map(|&(_, j)| j).collect();
+    lis_length_patience(&seconds)
+}
+
+/// LCS length through the seaweed kernel (combing): `O(|a| · |b|)` but also yields
+/// every semi-local answer.
+pub fn lcs_via_kernel(a: &[u32], b: &[u32]) -> usize {
+    if b.is_empty() {
+        return 0;
+    }
+    SeaweedKernel::comb(a, b).lcs_window(0, b.len())
+}
+
+/// Semi-local LCS: after `O(|a| · |b|)` preprocessing, answers `LCS(a, b[l..r))` for
+/// any window in `O(log² n)` (sequential counterpart of Corollary 1.3.3).
+#[derive(Clone, Debug)]
+pub struct SemiLocalLcs {
+    queries: SemiLocalQueries,
+}
+
+impl SemiLocalLcs {
+    /// Builds the structure by combing the full alignment grid.
+    pub fn new(a: &[u32], b: &[u32]) -> Self {
+        Self {
+            queries: SeaweedKernel::comb(a, b).queries(),
+        }
+    }
+
+    /// `LCS(a, b[l..r))`.
+    pub fn lcs_window(&self, l: usize, r: usize) -> usize {
+        self.queries.lcs_window(l, r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baselines::{lcs_length_dp, semi_local_lcs_brute};
+    use rand::prelude::*;
+
+    fn random_string(len: usize, alphabet: u32, rng: &mut StdRng) -> Vec<u32> {
+        (0..len).map(|_| rng.gen_range(0..alphabet)).collect()
+    }
+
+    #[test]
+    fn hunt_szymanski_matches_dp() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..40 {
+            let m = rng.gen_range(0..40);
+            let n = rng.gen_range(0..40);
+            let alphabet = rng.gen_range(2..8);
+            let a = random_string(m, alphabet, &mut rng);
+            let b = random_string(n, alphabet, &mut rng);
+            assert_eq!(lcs_via_lis(&a, &b), lcs_length_dp(&a, &b), "a={a:?} b={b:?}");
+        }
+    }
+
+    #[test]
+    fn kernel_lcs_matches_dp() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..20 {
+            let m = rng.gen_range(1..25);
+            let n = rng.gen_range(1..25);
+            let alphabet = rng.gen_range(2..6);
+            let a = random_string(m, alphabet, &mut rng);
+            let b = random_string(n, alphabet, &mut rng);
+            assert_eq!(lcs_via_kernel(&a, &b), lcs_length_dp(&a, &b));
+        }
+    }
+
+    #[test]
+    fn pair_listing_order() {
+        let a = [1u32, 2, 1];
+        let b = [1u32, 1, 2];
+        let pairs = hunt_szymanski_pairs(&a, &b);
+        assert_eq!(pairs, vec![(0, 1), (0, 0), (1, 2), (2, 1), (2, 0)]);
+    }
+
+    #[test]
+    fn pair_count_bound() {
+        // The reduction may produce Θ(mn) pairs — the reason Corollary 1.3.1 needs
+        // Õ(n²) total space.
+        let a = vec![7u32; 20];
+        let b = vec![7u32; 30];
+        assert_eq!(hunt_szymanski_pairs(&a, &b).len(), 600);
+        assert_eq!(lcs_via_lis(&a, &b), 20);
+    }
+
+    #[test]
+    fn semi_local_lcs_matches_brute() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10 {
+            let m = rng.gen_range(1..15);
+            let n = rng.gen_range(1..15);
+            let a = random_string(m, 4, &mut rng);
+            let b = random_string(n, 4, &mut rng);
+            let brute = semi_local_lcs_brute(&a, &b);
+            let fast = SemiLocalLcs::new(&a, &b);
+            for l in 0..=n {
+                for r in l..=n {
+                    assert_eq!(fast.lcs_window(l, r), brute[l][r]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn disjoint_alphabets_give_zero() {
+        let a = vec![1u32, 2, 3];
+        let b = vec![4u32, 5, 6];
+        assert_eq!(lcs_via_lis(&a, &b), 0);
+        assert_eq!(lcs_via_kernel(&a, &b), 0);
+    }
+
+    #[test]
+    fn identical_strings() {
+        let a: Vec<u32> = (0..50).map(|i| i % 7).collect();
+        assert_eq!(lcs_via_lis(&a, &a), 50);
+        assert_eq!(lcs_via_kernel(&a, &a), 50);
+    }
+}

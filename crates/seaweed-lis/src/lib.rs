@@ -1,0 +1,29 @@
+//! Sequential LIS / LCS applications of the seaweed (unit-Monge) framework.
+//!
+//! The paper's headline application (Theorem 1.3 and Corollaries 1.3.1–1.3.3) reduces
+//! the longest increasing subsequence problem to `O(n)` implicit subunit-Monge
+//! multiplications via Tiskin's *semi-local* string comparison framework. This crate
+//! implements the sequential side of that reduction:
+//!
+//! * [`baselines`] — Fredman's `O(n log n)` patience-sorting LIS, quadratic DP
+//!   baselines for LIS and LCS, and brute-force semi-local oracles for tests.
+//! * [`kernel`] — the semi-local seaweed kernel `P_{X,Y}`: the `O(mn)` combing
+//!   algorithm (ground truth), window queries, horizontal composition via `⊡`, and
+//!   the alphabet inflation used by the LIS divide and conquer.
+//! * [`lis`] — the `O(n log² n)` divide-and-conquer LIS kernel built from `⊡`
+//!   (the sequential analogue of Theorem 1.3), global LIS length and semi-local
+//!   (window) LIS queries.
+//! * [`lcs`] — the Hunt–Szymanski reduction from LCS to LIS (Corollary 1.3.1) and
+//!   semi-local LCS queries via the combing kernel (Corollary 1.3.3).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod baselines;
+pub mod kernel;
+pub mod lcs;
+pub mod lis;
+
+pub use kernel::SeaweedKernel;
+pub use lcs::lcs_via_lis;
+pub use lis::{lis_kernel, lis_length, SemiLocalLis};

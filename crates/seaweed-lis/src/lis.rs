@@ -1,0 +1,227 @@
+//! LIS via the seaweed framework: the divide-and-conquer kernel construction that
+//! Theorem 1.3 parallelizes.
+//!
+//! For a sequence `A` of `n` distinct values, `LIS(A[l..r)) = LCS(sorted(A), A[l..r))`,
+//! so the semi-local kernel of `(identity over the value alphabet, A)` answers every
+//! window-LIS query. The kernel is built bottom-up over the positions of `A`
+//! (`A = A_lo ∘ A_hi`): each half is relabelled to its own compact alphabet, solved
+//! recursively, inflated back to the full alphabet ([`SeaweedKernel::inflate_rows`])
+//! and the two halves are merged with one implicit unit-Monge multiplication
+//! ([`compose_horizontal`]). Total work `O(n log² n)`; the MPC version (`lis-mpc`)
+//! executes the same recursion level-by-level in `O(log n)` rounds.
+
+use crate::kernel::{compose_horizontal, SeaweedKernel, SemiLocalQueries};
+
+/// Size below which the kernel is computed by direct combing rather than recursion.
+const COMB_BASE: usize = 32;
+
+/// Builds the LIS kernel of a permutation of `0..n` (values must be exactly
+/// `0..n` in some order).
+pub fn lis_kernel_permutation(perm: &[u32]) -> SeaweedKernel {
+    let n = perm.len();
+    debug_assert!({
+        let mut seen = vec![false; n];
+        perm.iter().all(|&v| {
+            let ok = (v as usize) < n && !seen[v as usize];
+            if ok {
+                seen[v as usize] = true;
+            }
+            ok
+        })
+    }, "input must be a permutation of 0..n");
+
+    if n <= COMB_BASE {
+        let x: Vec<u32> = (0..n as u32).collect();
+        return SeaweedKernel::comb(&x, perm);
+    }
+
+    let half = n / 2;
+    let (lo, hi) = perm.split_at(half);
+    let (lo_relabelled, lo_values) = relabel(lo);
+    let (hi_relabelled, hi_values) = relabel(hi);
+
+    let k_lo = lis_kernel_permutation(&lo_relabelled).inflate_rows(&lo_values, n);
+    let k_hi = lis_kernel_permutation(&hi_relabelled).inflate_rows(&hi_values, n);
+    compose_horizontal(&k_lo, &k_hi)
+}
+
+/// Relabels a sequence of distinct values to ranks `0..len`, returning the rank
+/// sequence and the sorted original values.
+fn relabel(seq: &[u32]) -> (Vec<u32>, Vec<usize>) {
+    let mut values: Vec<usize> = seq.iter().map(|&v| v as usize).collect();
+    values.sort_unstable();
+    let rank = |v: u32| values.partition_point(|&x| x < v as usize) as u32;
+    (seq.iter().map(|&v| rank(v)).collect(), values)
+}
+
+/// Ranks an arbitrary sequence into a permutation of `0..n` such that strictly
+/// increasing subsequences are preserved exactly: equal values are ranked by
+/// *decreasing* position, so no two occurrences of the same value can both appear in
+/// an increasing run of ranks.
+pub fn rank_sequence<T: Ord>(seq: &[T]) -> Vec<u32> {
+    let mut order: Vec<usize> = (0..seq.len()).collect();
+    order.sort_by(|&a, &b| seq[a].cmp(&seq[b]).then(b.cmp(&a)));
+    let mut ranks = vec![0u32; seq.len()];
+    for (rank, &pos) in order.iter().enumerate() {
+        ranks[pos] = rank as u32;
+    }
+    ranks
+}
+
+/// Builds the LIS kernel of an arbitrary sequence (duplicates allowed; strict
+/// increase semantics).
+pub fn lis_kernel<T: Ord>(seq: &[T]) -> SeaweedKernel {
+    lis_kernel_permutation(&rank_sequence(seq))
+}
+
+/// Length of the longest strictly increasing subsequence, computed through the
+/// seaweed kernel (the algorithmic path Theorem 1.3 parallelizes). For a plain
+/// sequential answer prefer [`crate::baselines::lis_length_patience`].
+pub fn lis_length<T: Ord>(seq: &[T]) -> usize {
+    if seq.is_empty() {
+        return 0;
+    }
+    lis_kernel(seq).lcs_window(0, seq.len())
+}
+
+/// Semi-local LIS: answers `LIS(A[l..r))` for arbitrary windows after an
+/// `O(n log² n)` preprocessing (Corollary 1.3.2's sequential counterpart).
+#[derive(Clone, Debug)]
+pub struct SemiLocalLis {
+    queries: SemiLocalQueries,
+}
+
+impl SemiLocalLis {
+    /// Preprocesses the sequence.
+    pub fn new<T: Ord>(seq: &[T]) -> Self {
+        Self {
+            queries: lis_kernel(seq).queries(),
+        }
+    }
+
+    /// Builds the query structure from an already-computed kernel.
+    pub fn from_kernel(kernel: &SeaweedKernel) -> Self {
+        Self {
+            queries: kernel.queries(),
+        }
+    }
+
+    /// `LIS(A[l..r))` in `O(log² n)`.
+    pub fn lis_window(&self, l: usize, r: usize) -> usize {
+        self.queries.lcs_window(l, r)
+    }
+
+    /// Length of the underlying sequence.
+    pub fn len(&self) -> usize {
+        self.queries.y_len()
+    }
+
+    /// Whether the underlying sequence is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baselines::{lis_length_patience, semi_local_lis_brute};
+    use rand::prelude::*;
+
+    fn random_permutation(n: usize, rng: &mut StdRng) -> Vec<u32> {
+        let mut v: Vec<u32> = (0..n as u32).collect();
+        v.shuffle(rng);
+        v
+    }
+
+    #[test]
+    fn dandc_kernel_equals_combed_kernel() {
+        // The divide-and-conquer construction (inflate + ⊡) must reproduce the
+        // ground-truth combing exactly, not just answer the same queries.
+        let mut rng = StdRng::seed_from_u64(1);
+        for n in [1usize, 2, 3, 7, 33, 48, 64, 100, 150] {
+            let perm = random_permutation(n, &mut rng);
+            let x: Vec<u32> = (0..n as u32).collect();
+            let direct = SeaweedKernel::comb(&x, &perm);
+            let dandc = lis_kernel_permutation(&perm);
+            assert_eq!(dandc, direct, "n={n}");
+        }
+    }
+
+    #[test]
+    fn lis_length_matches_patience_on_permutations() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for n in [0usize, 1, 5, 17, 64, 130, 257] {
+            let perm = random_permutation(n, &mut rng);
+            assert_eq!(lis_length(&perm), lis_length_patience(&perm), "n={n}");
+        }
+    }
+
+    #[test]
+    fn lis_length_matches_patience_with_duplicates() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..20 {
+            let n = rng.gen_range(0..120);
+            let seq: Vec<u32> = (0..n).map(|_| rng.gen_range(0..20)).collect();
+            assert_eq!(lis_length(&seq), lis_length_patience(&seq), "{seq:?}");
+        }
+    }
+
+    #[test]
+    fn rank_sequence_preserves_strict_lis() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..30 {
+            let n = rng.gen_range(0..60);
+            let seq: Vec<u32> = (0..n).map(|_| rng.gen_range(0..10)).collect();
+            let ranks = rank_sequence(&seq);
+            assert_eq!(
+                lis_length_patience(&seq),
+                lis_length_patience(&ranks),
+                "{seq:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn semi_local_lis_matches_brute_force() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..10 {
+            let n = rng.gen_range(1..40);
+            let perm = random_permutation(n, &mut rng);
+            let brute = semi_local_lis_brute(&perm);
+            let fast = SemiLocalLis::new(&perm);
+            for l in 0..=n {
+                for r in l..=n {
+                    assert_eq!(fast.lis_window(l, r), brute[l][r], "perm={perm:?} [{l},{r})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn semi_local_lis_with_duplicates() {
+        let mut rng = StdRng::seed_from_u64(6);
+        for _ in 0..10 {
+            let n = rng.gen_range(1..30);
+            let seq: Vec<u32> = (0..n).map(|_| rng.gen_range(0..6)).collect();
+            let brute = semi_local_lis_brute(&seq);
+            let fast = SemiLocalLis::new(&seq);
+            for l in 0..=n {
+                for r in l..=n {
+                    assert_eq!(fast.lis_window(l, r), brute[l][r], "seq={seq:?} [{l},{r})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn monotone_sequences() {
+        let inc: Vec<u32> = (0..100).collect();
+        let dec: Vec<u32> = (0..100).rev().collect();
+        assert_eq!(lis_length(&inc), 100);
+        assert_eq!(lis_length(&dec), 1);
+        let s = SemiLocalLis::new(&dec);
+        assert_eq!(s.lis_window(10, 60), 1);
+        assert_eq!(s.lis_window(42, 42), 0);
+    }
+}

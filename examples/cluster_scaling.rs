@@ -1,0 +1,62 @@
+//! Fully-scalable behaviour of the MPC algorithms: sweep the scalability parameter δ
+//! and watch how machine count, per-machine space, rounds, communication and peak
+//! load react. The round count of the unit-Monge multiplication stays flat in n for
+//! a fixed recursion depth (Theorem 1.1), and the LIS round count grows only
+//! logarithmically (Theorem 1.3).
+//!
+//! Run with: `cargo run --release --example cluster_scaling`
+
+use monge_mpc_suite::lis_mpc::lis_kernel_mpc;
+use monge_mpc_suite::monge::PermutationMatrix;
+use monge_mpc_suite::monge_mpc::{self, MulParams};
+use monge_mpc_suite::mpc_runtime::{Cluster, MpcConfig};
+use rand::prelude::*;
+
+fn random_permutation(n: usize, rng: &mut StdRng) -> PermutationMatrix {
+    let mut v: Vec<u32> = (0..n as u32).collect();
+    v.shuffle(rng);
+    PermutationMatrix::from_rows(v)
+}
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(11);
+
+    println!("== implicit unit-Monge multiplication (Theorem 1.1) ==");
+    println!("{:>8} {:>6} {:>9} {:>9} {:>7} {:>12} {:>10}", "n", "δ", "machines", "space", "rounds", "comm", "peak load");
+    for &n in &[1usize << 14, 1 << 16] {
+        let a = random_permutation(n, &mut rng);
+        let b = random_permutation(n, &mut rng);
+        for &delta in &[0.25, 0.5, 0.75] {
+            let mut cluster = Cluster::new(MpcConfig::new(n, delta));
+            let _ = monge_mpc::mul(&mut cluster, &a, &b, &MulParams::default());
+            let l = cluster.ledger();
+            println!(
+                "{n:>8} {delta:>6} {:>9} {:>9} {:>7} {:>12} {:>10}",
+                cluster.config().machines,
+                cluster.config().space,
+                l.rounds,
+                l.communication,
+                l.max_machine_load
+            );
+        }
+    }
+
+    println!();
+    println!("== exact LIS (Theorem 1.3) ==");
+    println!("{:>8} {:>6} {:>7} {:>7} {:>12}", "n", "δ", "levels", "rounds", "rounds/level");
+    for &n in &[1usize << 12, 1 << 14, 1 << 16] {
+        let mut seq: Vec<u32> = (0..n as u32).collect();
+        seq.shuffle(&mut rng);
+        for &delta in &[0.4, 0.6] {
+            let mut cluster = Cluster::new(MpcConfig::new(n, delta));
+            let outcome = lis_kernel_mpc(&mut cluster, &seq, &MulParams::default());
+            let rounds = cluster.rounds();
+            println!(
+                "{n:>8} {delta:>6} {:>7} {:>7} {:>12.1}",
+                outcome.levels,
+                rounds,
+                rounds as f64 / outcome.levels.max(1) as f64
+            );
+        }
+    }
+}

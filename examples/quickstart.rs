@@ -1,0 +1,70 @@
+//! Quickstart: compute the length of the longest increasing subsequence three ways —
+//! classical patience sorting, the sequential seaweed kernel, and the paper's
+//! massively-parallel algorithm on the simulated MPC cluster.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use monge_mpc_suite::lis_mpc::lis_kernel_mpc;
+use monge_mpc_suite::monge_mpc::MulParams;
+use monge_mpc_suite::mpc_runtime::{Cluster, MpcConfig};
+use monge_mpc_suite::seaweed_lis::baselines::lis_length_patience;
+use monge_mpc_suite::seaweed_lis::lis::lis_length;
+use rand::prelude::*;
+
+fn main() {
+    let n = 50_000;
+    let delta = 0.5;
+    let mut rng = StdRng::seed_from_u64(42);
+
+    // A noisy upward-trending series: the kind of input whose LIS length measures
+    // "how sorted" the data already is.
+    let series: Vec<u32> = (0..n)
+        .map(|i| (i as f64 * 0.6 + rng.gen_range(0.0..5_000.0)) as u32)
+        .collect();
+
+    // 1. Classical sequential baseline (Fredman 1975).
+    let start = std::time::Instant::now();
+    let baseline = lis_length_patience(&series);
+    println!("patience sorting      : LIS = {baseline:6}   ({:?})", start.elapsed());
+
+    // 2. Sequential seaweed kernel (the object Theorem 1.3 parallelizes).
+    let start = std::time::Instant::now();
+    let seaweed = lis_length(&series);
+    println!("sequential seaweed ⊡  : LIS = {seaweed:6}   ({:?})", start.elapsed());
+
+    // 3. The paper's MPC algorithm on a simulated fully-scalable cluster.
+    let start = std::time::Instant::now();
+    let mut cluster = Cluster::new(MpcConfig::new(n, delta));
+    let outcome = lis_kernel_mpc(&mut cluster, &series, &MulParams::default());
+    println!(
+        "MPC (δ = {delta})         : LIS = {:6}   ({:?})",
+        outcome.length,
+        start.elapsed()
+    );
+    assert_eq!(baseline, seaweed);
+    assert_eq!(baseline, outcome.length);
+
+    let ledger = cluster.ledger();
+    println!();
+    println!("MPC execution profile (n = {n}, δ = {delta}):");
+    println!("  machines              {:>12}", cluster.config().machines);
+    println!("  space budget s        {:>12}", cluster.config().space);
+    println!("  rounds                {:>12}", ledger.rounds);
+    println!("  merge levels          {:>12}", outcome.levels);
+    println!("  communication (items) {:>12}", ledger.communication);
+    println!("  peak machine load     {:>12}", ledger.max_machine_load);
+    println!();
+    println!("rounds by phase:");
+    for (phase, rounds) in &ledger.rounds_by_phase {
+        println!("  {phase:<16} {rounds:>6}");
+    }
+
+    // The kernel computed by the MPC run also answers *semi-local* queries: the LIS
+    // of any contiguous window, in polylogarithmic time per query.
+    let queries = outcome.kernel.queries();
+    println!();
+    println!("window LIS queries from the same kernel:");
+    for (l, r) in [(0, n / 4), (n / 4, n / 2), (n / 2, n), (0, n)] {
+        println!("  LIS(series[{l:>6}..{r:>6}]) = {}", queries.lcs_window(l, r));
+    }
+}

@@ -1,0 +1,21 @@
+//! Facade crate re-exporting the whole reproduction of
+//! *An Optimal MPC Algorithm for Subunit-Monge Matrix Multiplication, with
+//! Applications to LIS* (Koo, SPAA 2024).
+//!
+//! The individual subsystems live in dedicated crates:
+//!
+//! * [`monge`] — sequential unit-Monge / seaweed algebra (matrices, ⊡ products,
+//!   H-way combine machinery).
+//! * [`seaweed_lis`] — sequential LIS/LCS applications (seaweed kernels, semi-local
+//!   queries, baselines).
+//! * [`mpc_runtime`] — the MPC model simulator (machines, rounds, space/communication
+//!   accounting, GSZ primitives).
+//! * [`monge_mpc`] — the paper's O(1)-round MPC multiplication (Theorems 1.1/1.2).
+//! * [`lis_mpc`] — the O(log n)-round MPC LIS and LCS algorithms (Theorem 1.3,
+//!   Corollaries 1.3.1–1.3.3).
+
+pub use lis_mpc;
+pub use monge;
+pub use monge_mpc;
+pub use mpc_runtime;
+pub use seaweed_lis;

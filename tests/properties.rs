@@ -1,0 +1,145 @@
+//! Property-based tests (proptest) for the core invariants of the seaweed algebra
+//! and the distributed algorithms.
+
+use monge_mpc_suite::monge::distribution::DistributionMatrix;
+use monge_mpc_suite::monge::multiway::mul_multiway;
+use monge_mpc_suite::monge::{mul_dense, mul_steady_ant, PermutationMatrix};
+use monge_mpc_suite::monge_mpc::{self, MulParams};
+use monge_mpc_suite::mpc_runtime::{Cluster, MpcConfig};
+use monge_mpc_suite::seaweed_lis::baselines::{lcs_length_dp, lis_length_patience};
+use monge_mpc_suite::seaweed_lis::kernel::{compose_horizontal, SeaweedKernel};
+use monge_mpc_suite::seaweed_lis::lis::lis_length;
+use monge_mpc_suite::{lis_mpc, seaweed_lis};
+use proptest::prelude::*;
+
+/// Strategy: a uniformly random permutation of 0..n (n fixed).
+fn perm_of(n: usize) -> impl Strategy<Value = Vec<u32>> {
+    Just((0..n as u32).collect::<Vec<u32>>()).prop_shuffle()
+}
+
+/// Strategy: two random permutations of the same (random) size.
+fn perm_pair(max_n: usize) -> impl Strategy<Value = (Vec<u32>, Vec<u32>)> {
+    (1..=max_n).prop_flat_map(|n| (perm_of(n), perm_of(n)))
+}
+
+/// Strategy: three random permutations of the same (random) size.
+fn perm_triple(max_n: usize) -> impl Strategy<Value = (Vec<u32>, Vec<u32>, Vec<u32>)> {
+    (1..=max_n).prop_flat_map(|n| (perm_of(n), perm_of(n), perm_of(n)))
+}
+
+/// Strategy: a random sequence with duplicates.
+fn sequence(max_n: usize, alphabet: u32) -> impl Strategy<Value = Vec<u32>> {
+    prop::collection::vec(0..alphabet, 0..=max_n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Tiskin's Lemma 2.1: the steady ant computes exactly the (min,+) product.
+    #[test]
+    fn steady_ant_matches_dense((a, b) in perm_pair(48)) {
+        let pa = PermutationMatrix::from_rows(a);
+        let pb = PermutationMatrix::from_rows(b);
+        prop_assert_eq!(mul_steady_ant(&pa, &pb), mul_dense(&pa, &pb));
+    }
+
+    /// The distribution matrix of any ⊡ product is (sub)unit-Monge.
+    #[test]
+    fn products_are_monge((a, b) in perm_pair(40)) {
+        let pa = PermutationMatrix::from_rows(a);
+        let pb = PermutationMatrix::from_rows(b);
+        let c = mul_steady_ant(&pa, &pb);
+        let d = DistributionMatrix::from_permutation(&c);
+        prop_assert!(d.is_monge());
+    }
+
+    /// The H-way combine of Section 3 agrees with the binary steady ant.
+    #[test]
+    fn multiway_combine_matches((a, b) in perm_pair(40), h in 2usize..6, g in 2usize..12) {
+        let pa = PermutationMatrix::from_rows(a);
+        let pb = PermutationMatrix::from_rows(b);
+        prop_assert_eq!(mul_multiway(&pa, &pb, h, g), mul_steady_ant(&pa, &pb));
+    }
+
+    /// ⊡ is associative (seaweed braids form a monoid).
+    #[test]
+    fn product_is_associative((a, b, c) in perm_triple(32)) {
+        let (pa, pb, pc) = (
+            PermutationMatrix::from_rows(a),
+            PermutationMatrix::from_rows(b),
+            PermutationMatrix::from_rows(c),
+        );
+        let left = mul_steady_ant(&mul_steady_ant(&pa, &pb), &pc);
+        let right = mul_steady_ant(&pa, &mul_steady_ant(&pb, &pc));
+        prop_assert_eq!(left, right);
+    }
+
+    /// The MPC multiplication agrees with the sequential algorithm for every choice
+    /// of fan-out, grid spacing and local threshold.
+    #[test]
+    fn mpc_mul_matches_sequential((a, b) in perm_pair(60),
+                                  h in 2usize..5, g in 3usize..10, thr in 6usize..20) {
+        let pa = PermutationMatrix::from_rows(a);
+        let pb = PermutationMatrix::from_rows(b);
+        let expected = mul_steady_ant(&pa, &pb);
+        let mut cluster = Cluster::new(MpcConfig::new(pa.size().max(4), 0.5).with_space(thr * 2));
+        let params = MulParams::default().with_h(h).with_g(g).with_local_threshold(thr);
+        prop_assert_eq!(monge_mpc::mul(&mut cluster, &pa, &pb, &params), expected);
+    }
+
+    /// Kernel window queries equal the DP LCS for every window.
+    #[test]
+    fn kernel_windows_match_dp(x in sequence(10, 4), y in sequence(12, 4)) {
+        let k = SeaweedKernel::comb(&x, &y);
+        for l in 0..=y.len() {
+            for r in l..=y.len() {
+                prop_assert_eq!(k.lcs_window(l, r), lcs_length_dp(&x, &y[l..r]));
+            }
+        }
+    }
+
+    /// Kernel composition equals combing the concatenation.
+    #[test]
+    fn kernel_composition(x in sequence(8, 3), y1 in sequence(8, 3), y2 in sequence(8, 3)) {
+        prop_assume!(!x.is_empty());
+        let k1 = SeaweedKernel::comb(&x, &y1);
+        let k2 = SeaweedKernel::comb(&x, &y2);
+        let composed = compose_horizontal(&k1, &k2);
+        let concat: Vec<u32> = y1.iter().chain(y2.iter()).copied().collect();
+        prop_assert_eq!(composed, SeaweedKernel::comb(&x, &concat));
+    }
+
+    /// The seaweed-based LIS equals patience sorting on arbitrary sequences.
+    #[test]
+    fn seaweed_lis_matches_patience(seq in sequence(120, 30)) {
+        prop_assert_eq!(lis_length(&seq), lis_length_patience(&seq));
+    }
+
+    /// The MPC LIS equals patience sorting, across space budgets (recursion depths).
+    #[test]
+    fn mpc_lis_matches_patience(seq in sequence(150, 50), space in 8usize..64) {
+        let n = seq.len().max(4);
+        let mut cluster = Cluster::new(MpcConfig::new(n, 0.5).with_space(space));
+        let got = lis_mpc::lis_length_mpc(&mut cluster, &seq, &MulParams::default());
+        prop_assert_eq!(got, lis_length_patience(&seq));
+    }
+
+    /// Hunt–Szymanski through the MPC pipeline equals the DP LCS.
+    #[test]
+    fn mpc_lcs_matches_dp(a in sequence(40, 6), b in sequence(40, 6)) {
+        let total = (a.len() * b.len()).max(4);
+        let mut cluster = Cluster::new(MpcConfig::new(total, 0.5).with_space(32));
+        let got = lis_mpc::lcs_length_mpc(&mut cluster, &a, &b, &MulParams::default());
+        prop_assert_eq!(got, lcs_length_dp(&a, &b));
+    }
+
+    /// Semi-local LIS window queries match brute force on arbitrary windows.
+    #[test]
+    fn semi_local_lis_windows(seq in sequence(60, 12), l in 0usize..60, r in 0usize..60) {
+        let n = seq.len();
+        let (l, r) = (l.min(n), r.min(n));
+        prop_assume!(l <= r);
+        let index = seaweed_lis::lis::SemiLocalLis::new(&seq);
+        prop_assert_eq!(index.lis_window(l, r), lis_length_patience(&seq[l..r]));
+    }
+}

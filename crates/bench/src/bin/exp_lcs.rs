@@ -13,9 +13,21 @@ use seaweed_lis::baselines::lcs_length_dp;
 fn main() {
     println!("E6: LCS via Hunt–Szymanski on the MPC simulator\n");
     let mut table = Table::new(vec![
-        "n", "alphabet", "match pairs", "pairs/n²", "LCS", "DP check", "rounds",
+        "n",
+        "alphabet",
+        "match pairs",
+        "pairs/n²",
+        "LCS",
+        "DP check",
+        "rounds",
     ]);
-    for &(n, alphabet) in &[(512usize, 4u32), (512, 64), (1024, 16), (2048, 256), (4096, 1024)] {
+    for &(n, alphabet) in &[
+        (512usize, 4u32),
+        (512, 64),
+        (1024, 16),
+        (2048, 256),
+        (4096, 1024),
+    ] {
         let a = random_sequence(n, alphabet, 11 + n as u64);
         let b = random_sequence(n, alphabet, 23 + n as u64);
         let dp = lcs_length_dp(&a, &b);

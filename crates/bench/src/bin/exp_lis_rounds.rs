@@ -14,7 +14,12 @@ fn main() {
     let delta = 0.5;
     println!("E4: LIS rounds vs n (δ = {delta})\n");
     let mut table = Table::new(vec![
-        "n", "LIS", "levels", "rounds", "rounds/level", "rounds/log2 n",
+        "n",
+        "LIS",
+        "levels",
+        "rounds",
+        "rounds/level",
+        "rounds/log2 n",
     ]);
     let mut samples = Vec::new();
     for &n in &[1usize << 11, 1 << 12, 1 << 13, 1 << 14, 1 << 15] {

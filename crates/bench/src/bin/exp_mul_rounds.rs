@@ -25,7 +25,12 @@ fn main() {
          the warmup baseline keeps the binary splits of §1.4.)\n"
     );
     let mut table = Table::new(vec![
-        "δ", "n", "rounds (paper, H=8)", "rounds (warmup H=2)", "comm (paper)", "peak load",
+        "δ",
+        "n",
+        "rounds (paper, H=8)",
+        "rounds (warmup H=2)",
+        "comm (paper)",
+        "peak load",
     ]);
     let paper = MulParams::default().with_h(8);
     for &delta in &[0.25, 0.5, 0.75] {

@@ -17,7 +17,14 @@ fn main() {
     let n = 1usize << 14;
     println!("E3: space profile at n = {n}\n");
     let mut table = Table::new(vec![
-        "workload", "δ", "machines", "budget s", "peak load", "peak/s", "violations", "comm/n",
+        "workload",
+        "δ",
+        "machines",
+        "budget s",
+        "peak load",
+        "peak/s",
+        "violations",
+        "comm/n",
     ]);
 
     for &delta in &[0.25, 0.4, 0.5, 0.6, 0.75] {

@@ -99,7 +99,10 @@ mod tests {
         let a = vec![1u32, 2, 3];
         let b = vec![4u32, 5, 6];
         let mut cluster = Cluster::new(MpcConfig::new(16, 0.5));
-        assert_eq!(lcs_length_mpc(&mut cluster, &a, &b, &MulParams::default()), 0);
+        assert_eq!(
+            lcs_length_mpc(&mut cluster, &a, &b, &MulParams::default()),
+            0
+        );
     }
 
     #[test]

@@ -290,7 +290,10 @@ mod tests {
         let inc: Vec<u32> = (0..500).collect();
         let dec: Vec<u32> = (0..500).rev().collect();
         let mut cluster = Cluster::new(MpcConfig::new(500, 0.5).with_space(48));
-        assert_eq!(lis_length_mpc(&mut cluster, &inc, &MulParams::default()), 500);
+        assert_eq!(
+            lis_length_mpc(&mut cluster, &inc, &MulParams::default()),
+            500
+        );
         let mut cluster = Cluster::new(MpcConfig::new(500, 0.5).with_space(48));
         assert_eq!(lis_length_mpc(&mut cluster, &dec, &MulParams::default()), 1);
     }
@@ -298,7 +301,13 @@ mod tests {
     #[test]
     fn empty_and_singleton() {
         let mut cluster = cluster_for(4, 0.5);
-        assert_eq!(lis_length_mpc::<u32>(&mut cluster, &[], &MulParams::default()), 0);
-        assert_eq!(lis_length_mpc(&mut cluster, &[7u32], &MulParams::default()), 1);
+        assert_eq!(
+            lis_length_mpc::<u32>(&mut cluster, &[], &MulParams::default()),
+            0
+        );
+        assert_eq!(
+            lis_length_mpc(&mut cluster, &[7u32], &MulParams::default()),
+            1
+        );
     }
 }

@@ -111,9 +111,7 @@ pub fn distributed_combine(
 
     // Phase 1: per-line demarcation rows.
     let lines = match grid_phase {
-        GridPhase::Reference | GridPhase::Tree => {
-            grid_phase_reference(cluster, &colored, &specs)
-        }
+        GridPhase::Reference | GridPhase::Tree => grid_phase_reference(cluster, &colored, &specs),
     };
 
     // Phase 2: classify points, enumerate active subgrids.
@@ -147,9 +145,7 @@ pub fn distributed_combine(
     let subgrid_out: DistVec<Nonzero> = cluster.group_map(
         all_items,
         |(target, _)| *target,
-        move |&(parent, gi, gj), items| {
-            resolve_subgrid(parent, gi, gj, items, &specs_local)
-        },
+        move |&(parent, gi, gj), items| resolve_subgrid(parent, gi, gj, items, &specs_local),
     );
 
     cluster.set_phase(None::<String>);
@@ -377,7 +373,10 @@ fn classify(
             out.push(((line.parent, line.c / g), BandItem::Line(line.clone())));
         }
         if line.c > 0 {
-            out.push(((line.parent, (line.c - 1) / g), BandItem::Line(line.clone())));
+            out.push((
+                (line.parent, (line.c - 1) / g),
+                BandItem::Line(line.clone()),
+            ));
         }
         out
     });

@@ -2,7 +2,7 @@
 //! (sub)unit-Monge matrix multiplication, executed on the simulated cluster of
 //! `mpc-runtime`.
 //!
-//! * [`mul`] / [`mul_batch`] — Theorem 1.1: multiply permutation matrices with a
+//! * [`mul`](fn@mul) / [`mul_batch`] — Theorem 1.1: multiply permutation matrices with a
 //!   constant number of rounds per recursion level. With the paper's parameters
 //!   (`H = n^{(1−δ)/10}`, `G = n^{1−δ}`) the recursion depth is `O(1)`, hence `O(1)`
 //!   rounds overall; with `H = 2` the same code becomes the §1.4 warmup baseline

@@ -121,8 +121,7 @@ pub fn mul_batch(
 
         if !small.is_empty() {
             cluster.set_phase(Some("local-solve"));
-            let sizes: HashMap<u64, usize> =
-                small.iter().map(|id| (*id, meta[id].n)).collect();
+            let sizes: HashMap<u64, usize> = small.iter().map(|id| (*id, meta[id].n)).collect();
             let sizes = cluster.broadcast(sizes);
             let in_small = {
                 let keys: HashSet<u64> = small.iter().copied().collect();
@@ -229,7 +228,9 @@ pub fn mul_batch(
             row: *rank as u32,
             col: r.other_coord,
         });
-        let row_maps = cluster.map(&a_ranked, |(r, rank)| (r.child, *rank as u32, r.ranked_coord));
+        let row_maps = cluster.map(&a_ranked, |(r, rank)| {
+            (r.child, *rank as u32, r.ranked_coord)
+        });
 
         // P_B slices: the row decides the subproblem; columns are rank-compacted.
         let bounds_b = bounds_of.clone();
@@ -257,7 +258,9 @@ pub fn mul_batch(
             row: r.other_coord,
             col: *rank as u32,
         });
-        let col_maps = cluster.map(&b_ranked, |(r, rank)| (r.child, *rank as u32, r.ranked_coord));
+        let col_maps = cluster.map(&b_ranked, |(r, rank)| {
+            (r.child, *rank as u32, r.ranked_coord)
+        });
 
         level_records.push(LevelRecord {
             parents,
@@ -412,11 +415,19 @@ mod tests {
     #[test]
     fn forced_recursion_matches_sequential() {
         // A tiny local threshold forces several split/combine levels.
-        for &(n, h, thr) in &[(64usize, 2usize, 8usize), (96, 3, 10), (128, 4, 16), (200, 5, 12)] {
+        for &(n, h, thr) in &[
+            (64usize, 2usize, 8usize),
+            (96, 3, 10),
+            (128, 4, 16),
+            (200, 5, 12),
+        ] {
             check(
                 n,
                 0.5,
-                MulParams::default().with_h(h).with_local_threshold(thr).with_g(7),
+                MulParams::default()
+                    .with_h(h)
+                    .with_local_threshold(thr)
+                    .with_g(7),
                 n as u64,
             );
         }
@@ -462,11 +473,17 @@ mod tests {
         let instances: Vec<_> = (0..6)
             .map(|i| {
                 let n = 40 + 10 * i;
-                (random_permutation(n, &mut rng), random_permutation(n, &mut rng))
+                (
+                    random_permutation(n, &mut rng),
+                    random_permutation(n, &mut rng),
+                )
             })
             .collect();
         let mut cluster = Cluster::new(MpcConfig::new(1 << 10, 0.5));
-        let params = MulParams::default().with_local_threshold(16).with_h(2).with_g(8);
+        let params = MulParams::default()
+            .with_local_threshold(16)
+            .with_h(2)
+            .with_g(8);
         let got = mul_batch(&mut cluster, &instances, &params);
         for (i, (a, b)) in instances.iter().enumerate() {
             assert_eq!(got[i], steady_ant::mul(a, b), "instance {i}");
@@ -483,7 +500,10 @@ mod tests {
     fn rounds_are_constant_per_level() {
         // With the same number of recursion levels, doubling n must not change the
         // round count (the heart of Theorem 1.1).
-        let params = MulParams::default().with_h(4).with_local_threshold(16).with_g(8);
+        let params = MulParams::default()
+            .with_h(4)
+            .with_local_threshold(16)
+            .with_g(8);
         let mut rounds = Vec::new();
         for &n in &[64usize, 128, 256] {
             let mut rng = StdRng::seed_from_u64(n as u64);
@@ -496,7 +516,10 @@ mod tests {
         }
         // Rounds per level are bounded by a fixed constant independent of n.
         for &(r, levels) in &rounds {
-            assert!(r <= 120 * levels.max(1), "rounds {r} exceed budget for {levels} levels");
+            assert!(
+                r <= 120 * levels.max(1),
+                "rounds {r} exceed budget for {levels} levels"
+            );
         }
     }
 
@@ -508,7 +531,10 @@ mod tests {
         for (a, b) in [(&id, &rev), (&rev, &id), (&rev, &rev), (&id, &id)] {
             let expected = steady_ant::mul(a, b);
             let mut cluster = Cluster::new(MpcConfig::new(n, 0.5));
-            let params = MulParams::default().with_local_threshold(10).with_h(3).with_g(6);
+            let params = MulParams::default()
+                .with_local_threshold(10)
+                .with_h(3)
+                .with_g(6);
             assert_eq!(mul(&mut cluster, a, b, &params), expected);
         }
     }

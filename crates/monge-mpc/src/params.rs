@@ -133,7 +133,10 @@ mod tests {
 
         let cfg2 = MpcConfig::new(1 << 20, 0.75);
         let p2 = MulParams::default().resolved(&cfg2, 1 << 20);
-        assert!(p2.g < p.g, "larger δ ⇒ smaller per-machine space ⇒ smaller G");
+        assert!(
+            p2.g < p.g,
+            "larger δ ⇒ smaller per-machine space ⇒ smaller G"
+        );
     }
 
     #[test]

@@ -39,7 +39,10 @@ pub fn mul_sub(
     // (These relabellings are the Lemma 2.3/2.5 sorting steps; they are executed
     // driver-side here because they are simple index arithmetic, and the cluster is
     // charged the corresponding O(1) rounds.)
-    cluster.charge_rounds("subperm-compaction", mpc_runtime::costs::SORT + mpc_runtime::costs::PREFIX_SUM);
+    cluster.charge_rounds(
+        "subperm-compaction",
+        mpc_runtime::costs::SORT + mpc_runtime::costs::PREFIX_SUM,
+    );
 
     let kept_rows_a: Vec<usize> = (0..n1).filter(|&r| a.col_of(r).is_some()).collect();
     let mut kept_cols_b: Vec<usize> = (0..n2).filter_map(|r| b.col_of(r)).collect();
@@ -59,7 +62,11 @@ pub fn mul_sub(
     let empty_cols_a: Vec<usize> = (0..n2).filter(|&c| !col_used_a[c]).collect();
     let mut pa = Vec::with_capacity(n2);
     pa.extend(empty_cols_a.iter().map(|&c| c as u32));
-    pa.extend(kept_rows_a.iter().map(|&r| a.col_of(r).expect("nonzero") as u32));
+    pa.extend(
+        kept_rows_a
+            .iter()
+            .map(|&r| a.col_of(r).expect("nonzero") as u32),
+    );
 
     let mut pb = Vec::with_capacity(n2);
     let mut next_extra_col = r3 as u32;
@@ -99,7 +106,12 @@ mod tests {
     use mpc_runtime::MpcConfig;
     use rand::prelude::*;
 
-    fn random_sub(rows: usize, cols: usize, density: f64, rng: &mut StdRng) -> SubPermutationMatrix {
+    fn random_sub(
+        rows: usize,
+        cols: usize,
+        density: f64,
+        rng: &mut StdRng,
+    ) -> SubPermutationMatrix {
         let k = rows.min(cols);
         let keep = (0..k).filter(|_| rng.gen_bool(density)).count();
         let mut rs: Vec<usize> = (0..rows).collect();
@@ -134,7 +146,10 @@ mod tests {
         let a = random_sub(60, 80, 0.8, &mut rng);
         let b = random_sub(80, 70, 0.8, &mut rng);
         let mut cluster = Cluster::new(MpcConfig::new(80, 0.5));
-        let params = MulParams::default().with_local_threshold(16).with_h(3).with_g(8);
+        let params = MulParams::default()
+            .with_local_threshold(16)
+            .with_h(3)
+            .with_g(8);
         let got = mul_sub(&mut cluster, &a, &b, &params);
         assert_eq!(got, mul_dense_sub(&a, &b));
     }
@@ -163,7 +178,12 @@ mod tests {
         v.shuffle(&mut rng);
         let b = PermutationMatrix::from_rows(v);
         let mut cluster = Cluster::new(MpcConfig::new(40, 0.5));
-        let got = mul_sub(&mut cluster, &a.to_sub(), &b.to_sub(), &MulParams::default());
+        let got = mul_sub(
+            &mut cluster,
+            &a.to_sub(),
+            &b.to_sub(),
+            &MulParams::default(),
+        );
         assert_eq!(got.as_permutation().unwrap(), monge::mul(&a, &b));
     }
 }

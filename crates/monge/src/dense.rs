@@ -46,7 +46,10 @@ pub fn mul_dense_sub(a: &SubPermutationMatrix, b: &SubPermutationMatrix) -> SubP
             let v = i64::from(dc[idx(i, k + 1)]) + i64::from(dc[idx(i + 1, k)])
                 - i64::from(dc[idx(i, k)])
                 - i64::from(dc[idx(i + 1, k + 1)]);
-            debug_assert!((0..=1).contains(&v), "product is not subunit-Monge at ({i},{k})");
+            debug_assert!(
+                (0..=1).contains(&v),
+                "product is not subunit-Monge at ({i},{k})"
+            );
             if v == 1 {
                 assert!(
                     rows[i] == SubPermutationMatrix::NONE,
@@ -61,7 +64,11 @@ pub fn mul_dense_sub(a: &SubPermutationMatrix, b: &SubPermutationMatrix) -> SubP
 
 /// Reference product specialized to permutation matrices (Lemma 2.1).
 pub fn mul_dense(a: &PermutationMatrix, b: &PermutationMatrix) -> PermutationMatrix {
-    assert_eq!(a.size(), b.size(), "permutation matrices must have equal size");
+    assert_eq!(
+        a.size(),
+        b.size(),
+        "permutation matrices must have equal size"
+    );
     mul_dense_sub(&a.to_sub(), &b.to_sub())
         .as_permutation()
         .expect("product of permutation matrices is a permutation matrix (Lemma 2.1)")
@@ -69,10 +76,7 @@ pub fn mul_dense(a: &PermutationMatrix, b: &PermutationMatrix) -> PermutationMat
 
 /// Explicit `(min,+)` product of the distribution matrices, exposed for tests that
 /// want to inspect the full unit-Monge matrix rather than its implicit form.
-pub fn min_plus_distribution(
-    a: &DistributionMatrix,
-    b: &DistributionMatrix,
-) -> Vec<Vec<u32>> {
+pub fn min_plus_distribution(a: &DistributionMatrix, b: &DistributionMatrix) -> Vec<Vec<u32>> {
     assert_eq!(a.cols(), b.rows());
     let (n1, n2, n3) = (a.rows(), a.cols(), b.cols());
     let mut out = vec![vec![0u32; n3 + 1]; n1 + 1];
@@ -144,10 +148,7 @@ mod tests {
     #[test]
     fn zero_rows_stay_zero() {
         // A zero row of P_A yields a zero row of the product (used by Theorem 1.2).
-        let a = SubPermutationMatrix::from_rows(
-            vec![SubPermutationMatrix::NONE, 0, 1],
-            2,
-        );
+        let a = SubPermutationMatrix::from_rows(vec![SubPermutationMatrix::NONE, 0, 1], 2);
         let b = SubPermutationMatrix::from_rows(vec![1, 0], 2);
         let c = mul_dense_sub(&a, &b);
         assert_eq!(c.col_of(0), None);

@@ -30,7 +30,10 @@ impl DistributionMatrix {
         // dens[r][c] = 1 if a point occupies cell (r, c).
         let mut dens = vec![0u32; (rows + 1) * (cols + 1)];
         for &(r, c) in points {
-            assert!(r < rows && c < cols, "point ({r},{c}) outside {rows}×{cols} grid");
+            assert!(
+                r < rows && c < cols,
+                "point ({r},{c}) outside {rows}×{cols} grid"
+            );
             dens[r * (cols + 1) + c] += 1;
         }
         // data[i][j] = number of points with row >= i and col < j.
@@ -162,10 +165,7 @@ mod tests {
         let d = DistributionMatrix::from_permutation(&p);
         for i in 0..=5 {
             for j in 0..=5 {
-                let direct = p
-                    .nonzeros()
-                    .filter(|&(r, c)| r >= i && c < j)
-                    .count() as u32;
+                let direct = p.nonzeros().filter(|&(r, c)| r >= i && c < j).count() as u32;
                 assert_eq!(d.get(i, j), direct, "mismatch at ({i},{j})");
             }
         }

@@ -116,9 +116,9 @@ pub fn offline_dominance_count(points: &[(u32, u32)], queries: &[DominanceQuery]
     // query (row_min, col_max) is answered once every point with row ≥ row_min has
     // been inserted.
     let mut pts: Vec<(u32, u32)> = points.to_vec();
-    pts.sort_unstable_by(|a, b| b.0.cmp(&a.0));
+    pts.sort_unstable_by_key(|p| std::cmp::Reverse(p.0));
     let mut qs: Vec<(usize, DominanceQuery)> = queries.iter().copied().enumerate().collect();
-    qs.sort_unstable_by(|a, b| b.1.row_min.cmp(&a.1.row_min));
+    qs.sort_unstable_by_key(|q| std::cmp::Reverse(q.1.row_min));
 
     let max_col = points.iter().map(|&(_, c)| c).max().unwrap_or(0) as usize + 2;
     let mut fenwick = vec![0usize; max_col + 1];
@@ -203,7 +203,13 @@ mod tests {
         assert_eq!(dc.count_row_ge_col_lt(0, 100), 0);
         assert_eq!(offline_dominance_count(&[], &[]), Vec::<usize>::new());
         assert_eq!(
-            offline_dominance_count(&[], &[DominanceQuery { row_min: 0, col_max: 5 }]),
+            offline_dominance_count(
+                &[],
+                &[DominanceQuery {
+                    row_min: 0,
+                    col_max: 5
+                }]
+            ),
             vec![0]
         );
     }

@@ -236,7 +236,7 @@ impl SubPermutationMatrix {
     ///
     /// Returns `None` unless the matrix is square with a nonzero in every row.
     pub fn as_permutation(&self) -> Option<PermutationMatrix> {
-        if self.rows_len() != self.cols || self.col_of_row.iter().any(|&c| c == Self::NONE) {
+        if self.rows_len() != self.cols || self.col_of_row.contains(&Self::NONE) {
             return None;
         }
         Some(PermutationMatrix::from_rows(self.col_of_row.clone()))
@@ -245,7 +245,12 @@ impl SubPermutationMatrix {
 
 impl fmt::Debug for PermutationMatrix {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "PermutationMatrix(n={}, rows={:?})", self.size(), self.col_of_row)
+        write!(
+            f,
+            "PermutationMatrix(n={}, rows={:?})",
+            self.size(),
+            self.col_of_row
+        )
     }
 }
 

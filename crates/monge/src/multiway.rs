@@ -69,7 +69,9 @@ pub fn split_into_subproblems(pa: &[u32], pb: &[u32], h: usize) -> Vec<Subproble
     let bounds: Vec<usize> = (0..=h).map(|q| q * n / h).collect();
     let slice_of = |mid: usize| -> usize {
         // h is small; a linear scan is fine and avoids division edge cases.
-        (0..h).find(|&q| mid < bounds[q + 1]).expect("value within range")
+        (0..h)
+            .find(|&q| mid < bounds[q + 1])
+            .expect("value within range")
     };
 
     let mut subs: Vec<Subproblem> = (0..h)
@@ -123,7 +125,10 @@ pub fn lift_subresult(sub: &Subproblem, c_rows: &[u32], color: u16) -> Vec<Color
 pub fn overlay(mut parts: Vec<Vec<ColoredPoint>>) -> Vec<ColoredPoint> {
     let mut all: Vec<ColoredPoint> = parts.drain(..).flatten().collect();
     all.sort_unstable_by_key(|p| p.row);
-    debug_assert!(all.windows(2).all(|w| w[0].row != w[1].row), "duplicate rows in overlay");
+    debug_assert!(
+        all.windows(2).all(|w| w[0].row != w[1].row),
+        "duplicate rows in overlay"
+    );
     all
 }
 
@@ -151,7 +156,11 @@ impl MultiwayOracle {
         }
         let totals = buckets.iter().map(|b| b.len() as u64).collect();
         let per_color = buckets.iter().map(|b| DominanceCounter::new(b)).collect();
-        Self { h, per_color, totals }
+        Self {
+            h,
+            per_color,
+            totals,
+        }
     }
 
     /// Number of colors.
@@ -582,7 +591,10 @@ fn trace_demarcation_line(inst: &SubgridInstance, q: u16, rows: usize) -> Vec<i6
         }
         move_up(&mut local);
         row -= 1;
-        debug_assert!(local.opt() <= q, "region must still contain the corner after moving up");
+        debug_assert!(
+            local.opt() <= q,
+            "region must still contain the corner after moving up"
+        );
     }
     maxcol
 }
@@ -610,9 +622,18 @@ fn move_up(local: &mut LocalF<'_>) {
 /// permutation, using exactly the grid/subgrid decomposition the MPC implementation
 /// uses (grid spacing `g`). This is the reference the distributed implementation is
 /// tested against, and doubles as a standalone sequential H-way multiplier.
-pub fn combine_multiway(points: &[ColoredPoint], n: usize, h: usize, g: usize) -> PermutationMatrix {
+pub fn combine_multiway(
+    points: &[ColoredPoint],
+    n: usize,
+    h: usize,
+    g: usize,
+) -> PermutationMatrix {
     assert!(g >= 1);
-    assert_eq!(points.len(), n, "union of subproblem results must be a permutation");
+    assert_eq!(
+        points.len(),
+        n,
+        "union of subproblem results must be a permutation"
+    );
     if h == 1 || n == 0 {
         let mut rows = vec![0u32; n];
         for p in points {
@@ -624,7 +645,10 @@ pub fn combine_multiway(points: &[ColoredPoint], n: usize, h: usize, g: usize) -
     let oracle = MultiwayOracle::new(points, h);
     // Grid corner rows/cols: multiples of g plus the final boundary n.
     let boundaries: Vec<u32> = {
-        let mut b: Vec<u32> = (0..).map(|k| (k * g) as u32).take_while(|&x| (x as usize) < n).collect();
+        let mut b: Vec<u32> = (0..)
+            .map(|k| (k * g) as u32)
+            .take_while(|&x| (x as usize) < n)
+            .collect();
         b.push(n as u32);
         b
     };
@@ -703,7 +727,12 @@ pub fn combine_multiway(points: &[ColoredPoint], n: usize, h: usize, g: usize) -
 
 /// Full sequential H-way multiplication: split, solve subproblems with the steady
 /// ant, combine. Useful on its own and as the reference for `monge-mpc`.
-pub fn mul_multiway(a: &PermutationMatrix, b: &PermutationMatrix, h: usize, g: usize) -> PermutationMatrix {
+pub fn mul_multiway(
+    a: &PermutationMatrix,
+    b: &PermutationMatrix,
+    h: usize,
+    g: usize,
+) -> PermutationMatrix {
     let n = a.size();
     assert_eq!(n, b.size());
     if n == 0 {
@@ -920,7 +949,12 @@ mod tests {
     #[test]
     fn multiway_combine_matches_steady_ant_medium() {
         let mut rng = StdRng::seed_from_u64(9);
-        for &(n, h, g) in &[(64usize, 4usize, 16usize), (100, 5, 10), (128, 8, 16), (200, 3, 32)] {
+        for &(n, h, g) in &[
+            (64usize, 4usize, 16usize),
+            (100, 5, 10),
+            (128, 8, 16),
+            (200, 3, 32),
+        ] {
             let a = random_permutation(n, &mut rng);
             let b = random_permutation(n, &mut rng);
             let expected = steady_ant::mul(&a, &b);

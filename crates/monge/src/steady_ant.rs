@@ -163,7 +163,10 @@ fn combine_ant(
         };
 
         if move_right {
-            debug_assert!(delta + step_right(i, k) <= 0, "invariant: ant stays in delta ≤ 0");
+            debug_assert!(
+                delta + step_right(i, k) <= 0,
+                "invariant: ant stays in delta ≤ 0"
+            );
             if last_was_up {
                 // Up-then-right turn at (i, k): a new nonzero of the product
                 // (Lemma 3.9's interesting point).
@@ -194,7 +197,7 @@ fn combine_ant(
     // lo nonzero (r, c) survives iff its whole 2×2 block lies in the delta ≤ 0
     // region, i.e. delta(r+1, c+1) ≤ 0; hi nonzero survives iff delta(r, c) > 0.
     for (r, &c) in lo_col_of_row.iter().enumerate() {
-        if c != NONE && c + 1 <= max_k[r + 1] {
+        if c != NONE && c < max_k[r + 1] {
             place(&mut out, r, c as usize);
         }
     }
@@ -204,7 +207,10 @@ fn combine_ant(
         }
     }
 
-    debug_assert!(out.iter().all(|&c| c != NONE), "combine produced an empty row");
+    debug_assert!(
+        out.iter().all(|&c| c != NONE),
+        "combine produced an empty row"
+    );
     out
 }
 
@@ -388,11 +394,7 @@ mod tests {
             let n3 = rng.gen_range(1..12);
             let a = random_sub_permutation(n1, n2, 0.7, &mut rng);
             let b = random_sub_permutation(n2, n3, 0.7, &mut rng);
-            assert_eq!(
-                mul_sub(&a, &b),
-                mul_dense_sub(&a, &b),
-                "a={a:?} b={b:?}"
-            );
+            assert_eq!(mul_sub(&a, &b), mul_dense_sub(&a, &b), "a={a:?} b={b:?}");
         }
     }
 

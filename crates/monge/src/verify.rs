@@ -69,9 +69,7 @@ pub fn verify_product_sub(
     b: &SubPermutationMatrix,
     c: &SubPermutationMatrix,
 ) -> bool {
-    if a.cols_len() != b.rows_len()
-        || c.rows_len() != a.rows_len()
-        || c.cols_len() != b.cols_len()
+    if a.cols_len() != b.rows_len() || c.rows_len() != a.rows_len() || c.cols_len() != b.cols_len()
     {
         return false;
     }
@@ -90,11 +88,7 @@ pub fn verify_product_sub(
 }
 
 /// Verifies that `c = a ⊡ b` for permutation matrices.
-pub fn verify_product(
-    a: &PermutationMatrix,
-    b: &PermutationMatrix,
-    c: &PermutationMatrix,
-) -> bool {
+pub fn verify_product(a: &PermutationMatrix, b: &PermutationMatrix, c: &PermutationMatrix) -> bool {
     verify_product_sub(&a.to_sub(), &b.to_sub(), &c.to_sub())
 }
 

@@ -238,7 +238,7 @@ impl Cluster {
         // Globally sort the value keys once; answer each query by binary search in
         // its group's slice. (The simulated cost model already charged the sort +
         // prefix-sum rounds above.)
-        let mut keyed: Vec<(K, u64)> = values.iter().map(|v| vkey(v)).collect();
+        let mut keyed: Vec<(K, u64)> = values.iter().map(vkey).collect();
         keyed.par_sort();
         let answer = |q: &Q| -> u64 {
             let (group, threshold) = qkey(q);
@@ -305,7 +305,9 @@ impl Cluster {
             machine_of_group[g] = target;
             loads[target] += groups[g].1.len();
         }
-        let violated = self.ledger.observe_loads(loads.iter().copied(), self.config.space);
+        let violated = self
+            .ledger
+            .observe_loads(loads.iter().copied(), self.config.space);
         if violated && self.config.enforce_space {
             panic!(
                 "MPC space budget exceeded in `group_map`: max packed load {} > s = {}",
@@ -478,7 +480,13 @@ mod tests {
         let out = cl.group_map(
             dv,
             |&(g, _)| g,
-            |&g, items| vec![(g, items.len() as u32, items.iter().map(|&(_, v)| v).min().unwrap())],
+            |&g, items| {
+                vec![(
+                    g,
+                    items.len() as u32,
+                    items.iter().map(|&(_, v)| v).min().unwrap(),
+                )]
+            },
         );
         let mut flat = out.into_inner();
         flat.sort_unstable();
@@ -507,7 +515,11 @@ mod tests {
         let mut perm: Vec<u32> = (0..n).collect();
         perm.shuffle(&mut rng);
         let mut cl = cluster(n as usize, 0.4);
-        let pairs: Vec<(u32, u32)> = perm.iter().enumerate().map(|(i, &p)| (i as u32, p)).collect();
+        let pairs: Vec<(u32, u32)> = perm
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| (i as u32, p))
+            .collect();
         let dv = cl.distribute(pairs);
         let inv = cl.inverse_permutation(dv).into_inner();
         for (p, i) in inv {
@@ -536,6 +548,9 @@ mod tests {
         let doubled = cl.map(&dv, |&x| x * 2);
         assert_eq!(cl.rounds(), 0);
         assert_eq!(doubled.len(), 100);
-        assert_eq!(doubled.iter().copied().sum::<u32>(), (0..100).map(|x| x * 2).sum());
+        assert_eq!(
+            doubled.iter().copied().sum::<u32>(),
+            (0..100).map(|x| x * 2).sum()
+        );
     }
 }

@@ -29,7 +29,10 @@ impl MpcConfig {
     /// with a poly-logarithmic slack of `4·log₂(n+2)` on the space budget and
     /// space enforcement disabled (violations are recorded, not fatal).
     pub fn new(n: usize, delta: f64) -> Self {
-        assert!(delta > 0.0 && delta < 1.0, "δ must lie strictly between 0 and 1");
+        assert!(
+            delta > 0.0 && delta < 1.0,
+            "δ must lie strictly between 0 and 1"
+        );
         let nf = n.max(2) as f64;
         let machines = nf.powf(delta).ceil() as usize;
         let space_slack = 4.0 * nf.log2();
@@ -102,7 +105,10 @@ mod tests {
 
     #[test]
     fn builders() {
-        let cfg = MpcConfig::new(1000, 0.5).with_machines(7).with_space(123).strict();
+        let cfg = MpcConfig::new(1000, 0.5)
+            .with_machines(7)
+            .with_space(123)
+            .strict();
         assert_eq!(cfg.machines, 7);
         assert_eq!(cfg.space, 123);
         assert!(cfg.enforce_space);

@@ -15,7 +15,7 @@ pub struct Ledger {
     pub space_violations: u64,
     /// Largest per-machine load observed in a violating superstep.
     pub worst_overload: usize,
-    /// Rounds attributed to each label (see [`crate::Cluster::phase`]).
+    /// Rounds attributed to each label (see [`crate::Cluster::set_phase`]).
     pub rounds_by_phase: BTreeMap<String, u64>,
     /// Number of primitive invocations by name.
     pub primitive_counts: BTreeMap<&'static str, u64>,
@@ -32,7 +32,11 @@ impl Ledger {
     }
 
     /// Records the load profile after a superstep.
-    pub(crate) fn observe_loads(&mut self, loads: impl Iterator<Item = usize>, space: usize) -> bool {
+    pub(crate) fn observe_loads(
+        &mut self,
+        loads: impl Iterator<Item = usize>,
+        space: usize,
+    ) -> bool {
         let mut violated = false;
         for load in loads {
             self.max_machine_load = self.max_machine_load.max(load);

@@ -27,7 +27,11 @@ pub fn lis_values<T: Ord + Clone>(seq: &[T]) -> Vec<T> {
     let mut prev: Vec<usize> = vec![usize::MAX; n];
     for (i, x) in seq.iter().enumerate() {
         let pos = tails_idx.partition_point(|&t| seq[t] < *x);
-        prev[i] = if pos == 0 { usize::MAX } else { tails_idx[pos - 1] };
+        prev[i] = if pos == 0 {
+            usize::MAX
+        } else {
+            tails_idx[pos - 1]
+        };
         if pos == tails_idx.len() {
             tails_idx.push(i);
         } else {
@@ -86,7 +90,13 @@ pub fn semi_local_lis_brute<T: Ord>(seq: &[T]) -> Vec<Vec<usize>> {
     (0..=n)
         .map(|l| {
             (0..=n)
-                .map(|r| if r >= l { lis_length_patience(&seq[l..r]) } else { 0 })
+                .map(|r| {
+                    if r >= l {
+                        lis_length_patience(&seq[l..r])
+                    } else {
+                        0
+                    }
+                })
                 .collect()
         })
         .collect()
@@ -99,7 +109,13 @@ pub fn semi_local_lcs_brute<T: PartialEq>(a: &[T], b: &[T]) -> Vec<Vec<usize>> {
     (0..=n)
         .map(|l| {
             (0..=n)
-                .map(|r| if r >= l { lcs_length_dp(a, &b[l..r]) } else { 0 })
+                .map(|r| {
+                    if r >= l {
+                        lcs_length_dp(a, &b[l..r])
+                    } else {
+                        0
+                    }
+                })
                 .collect()
         })
         .collect()

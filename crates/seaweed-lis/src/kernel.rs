@@ -21,8 +21,8 @@
 //! (see [`compose_horizontal`]), which is why Theorem 1.1/1.2 immediately yield
 //! parallel LIS and LCS algorithms.
 
-use monge::{mul, PermutationMatrix};
 use monge::dominance::DominanceCounter;
+use monge::{mul, PermutationMatrix};
 
 /// The semi-local kernel of a pair of strings (a permutation of size `m + n`).
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -38,7 +38,11 @@ impl SeaweedKernel {
     /// # Panics
     /// Panics if the permutation size is not `m + n`.
     pub fn from_parts(m: usize, n: usize, perm: PermutationMatrix) -> Self {
-        assert_eq!(perm.size(), m + n, "kernel permutation must have size m + n");
+        assert_eq!(
+            perm.size(),
+            m + n,
+            "kernel permutation must have size m + n"
+        );
         Self { m, n, perm }
     }
 
@@ -146,7 +150,10 @@ impl SeaweedKernel {
     /// right boundary and every other seaweed is unaffected.
     pub fn inflate_rows(&self, values: &[usize], m_big: usize) -> Self {
         assert_eq!(values.len(), self.m, "values must list every present row");
-        assert!(values.windows(2).all(|w| w[0] < w[1]), "values must be increasing");
+        assert!(
+            values.windows(2).all(|w| w[0] < w[1]),
+            "values must be increasing"
+        );
         assert!(values.last().is_none_or(|&v| v < m_big));
         let (m_small, n) = (self.m, self.n);
         let mut exits = vec![u32::MAX; m_big + n];

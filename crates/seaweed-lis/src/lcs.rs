@@ -87,7 +87,11 @@ mod tests {
             let alphabet = rng.gen_range(2..8);
             let a = random_string(m, alphabet, &mut rng);
             let b = random_string(n, alphabet, &mut rng);
-            assert_eq!(lcs_via_lis(&a, &b), lcs_length_dp(&a, &b), "a={a:?} b={b:?}");
+            assert_eq!(
+                lcs_via_lis(&a, &b),
+                lcs_length_dp(&a, &b),
+                "a={a:?} b={b:?}"
+            );
         }
     }
 

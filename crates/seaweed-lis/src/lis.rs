@@ -19,16 +19,19 @@ const COMB_BASE: usize = 32;
 /// `0..n` in some order).
 pub fn lis_kernel_permutation(perm: &[u32]) -> SeaweedKernel {
     let n = perm.len();
-    debug_assert!({
-        let mut seen = vec![false; n];
-        perm.iter().all(|&v| {
-            let ok = (v as usize) < n && !seen[v as usize];
-            if ok {
-                seen[v as usize] = true;
-            }
-            ok
-        })
-    }, "input must be a permutation of 0..n");
+    debug_assert!(
+        {
+            let mut seen = vec![false; n];
+            perm.iter().all(|&v| {
+                let ok = (v as usize) < n && !seen[v as usize];
+                if ok {
+                    seen[v as usize] = true;
+                }
+                ok
+            })
+        },
+        "input must be a permutation of 0..n"
+    );
 
     if n <= COMB_BASE {
         let x: Vec<u32> = (0..n as u32).collect();
@@ -192,7 +195,11 @@ mod tests {
             let fast = SemiLocalLis::new(&perm);
             for l in 0..=n {
                 for r in l..=n {
-                    assert_eq!(fast.lis_window(l, r), brute[l][r], "perm={perm:?} [{l},{r})");
+                    assert_eq!(
+                        fast.lis_window(l, r),
+                        brute[l][r],
+                        "perm={perm:?} [{l},{r})"
+                    );
                 }
             }
         }

@@ -22,7 +22,10 @@ fn main() {
     let mut rng = StdRng::seed_from_u64(11);
 
     println!("== implicit unit-Monge multiplication (Theorem 1.1) ==");
-    println!("{:>8} {:>6} {:>9} {:>9} {:>7} {:>12} {:>10}", "n", "δ", "machines", "space", "rounds", "comm", "peak load");
+    println!(
+        "{:>8} {:>6} {:>9} {:>9} {:>7} {:>12} {:>10}",
+        "n", "δ", "machines", "space", "rounds", "comm", "peak load"
+    );
     for &n in &[1usize << 14, 1 << 16] {
         let a = random_permutation(n, &mut rng);
         let b = random_permutation(n, &mut rng);
@@ -43,7 +46,10 @@ fn main() {
 
     println!();
     println!("== exact LIS (Theorem 1.3) ==");
-    println!("{:>8} {:>6} {:>7} {:>7} {:>12}", "n", "δ", "levels", "rounds", "rounds/level");
+    println!(
+        "{:>8} {:>6} {:>7} {:>7} {:>12}",
+        "n", "δ", "levels", "rounds", "rounds/level"
+    );
     for &n in &[1usize << 12, 1 << 14, 1 << 16] {
         let mut seq: Vec<u32> = (0..n as u32).collect();
         seq.shuffle(&mut rng);

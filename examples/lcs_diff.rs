@@ -16,7 +16,12 @@ use rand::prelude::*;
 
 /// Generates a "document" of `lines` hashed lines over a vocabulary, then an edited
 /// revision with the given mutation rate (insertions, deletions, replacements).
-fn document_pair(lines: usize, vocab: u32, mutation: f64, rng: &mut StdRng) -> (Vec<u32>, Vec<u32>) {
+fn document_pair(
+    lines: usize,
+    vocab: u32,
+    mutation: f64,
+    rng: &mut StdRng,
+) -> (Vec<u32>, Vec<u32>) {
     let original: Vec<u32> = (0..lines).map(|_| rng.gen_range(0..vocab)).collect();
     let mut revised = Vec::with_capacity(lines);
     for &line in &original {

@@ -29,19 +29,31 @@ fn main() {
 
     let start = Instant::now();
     let dense = mul_dense(&a, &b);
-    println!("dense (min,+) reference   n={n_small}: {:?}", start.elapsed());
+    println!(
+        "dense (min,+) reference   n={n_small}: {:?}",
+        start.elapsed()
+    );
 
     let start = Instant::now();
     let ant = mul_steady_ant(&a, &b);
-    println!("steady ant  O(n log n)    n={n_small}: {:?}", start.elapsed());
+    println!(
+        "steady ant  O(n log n)    n={n_small}: {:?}",
+        start.elapsed()
+    );
 
     let start = Instant::now();
     let multi = mul_multiway(&a, &b, 8, 64);
-    println!("sequential H-way combine  n={n_small}: {:?}", start.elapsed());
+    println!(
+        "sequential H-way combine  n={n_small}: {:?}",
+        start.elapsed()
+    );
 
     assert_eq!(dense, ant);
     assert_eq!(dense, multi);
-    assert!(verify_product(&a, &b, &ant), "product certified against the (min,+) identity");
+    assert!(
+        verify_product(&a, &b, &ant),
+        "product certified against the (min,+) identity"
+    );
 
     // Larger instance on the simulated cluster.
     let n = 100_000;

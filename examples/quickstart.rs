@@ -8,7 +8,7 @@ use monge_mpc_suite::lis_mpc::lis_kernel_mpc;
 use monge_mpc_suite::monge_mpc::MulParams;
 use monge_mpc_suite::mpc_runtime::{Cluster, MpcConfig};
 use monge_mpc_suite::seaweed_lis::baselines::lis_length_patience;
-use monge_mpc_suite::seaweed_lis::lis::lis_length;
+use monge_mpc_suite::seaweed_lis::lis::{lis_length, SemiLocalLis};
 use rand::prelude::*;
 
 fn main() {
@@ -25,12 +25,18 @@ fn main() {
     // 1. Classical sequential baseline (Fredman 1975).
     let start = std::time::Instant::now();
     let baseline = lis_length_patience(&series);
-    println!("patience sorting      : LIS = {baseline:6}   ({:?})", start.elapsed());
+    println!(
+        "patience sorting      : LIS = {baseline:6}   ({:?})",
+        start.elapsed()
+    );
 
     // 2. Sequential seaweed kernel (the object Theorem 1.3 parallelizes).
     let start = std::time::Instant::now();
     let seaweed = lis_length(&series);
-    println!("sequential seaweed ⊡  : LIS = {seaweed:6}   ({:?})", start.elapsed());
+    println!(
+        "sequential seaweed ⊡  : LIS = {seaweed:6}   ({:?})",
+        start.elapsed()
+    );
 
     // 3. The paper's MPC algorithm on a simulated fully-scalable cluster.
     let start = std::time::Instant::now();
@@ -61,10 +67,13 @@ fn main() {
 
     // The kernel computed by the MPC run also answers *semi-local* queries: the LIS
     // of any contiguous window, in polylogarithmic time per query.
-    let queries = outcome.kernel.queries();
+    let semi_local = SemiLocalLis::from_kernel(&outcome.kernel);
     println!();
     println!("window LIS queries from the same kernel:");
     for (l, r) in [(0, n / 4), (n / 4, n / 2), (n / 2, n), (0, n)] {
-        println!("  LIS(series[{l:>6}..{r:>6}]) = {}", queries.lcs_window(l, r));
+        println!(
+            "  LIS(series[{l:>6}..{r:>6}]) = {}",
+            semi_local.lis_window(l, r)
+        );
     }
 }

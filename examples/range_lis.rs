@@ -46,7 +46,10 @@ fn main() {
         .collect();
 
     let start = Instant::now();
-    let answers: Vec<usize> = windows.iter().map(|&(l, r)| index.lis_window(l, r)).collect();
+    let answers: Vec<usize> = windows
+        .iter()
+        .map(|&(l, r)| index.lis_window(l, r))
+        .collect();
     let query_time = start.elapsed();
     println!(
         "answered {queries} window queries in {query_time:?} ({:.1} µs/query)",
@@ -62,7 +65,10 @@ fn main() {
             "window [{l}, {r})"
         );
     }
-    println!("verified 20 random windows against patience sorting in {:?}", start.elapsed());
+    println!(
+        "verified 20 random windows against patience sorting in {:?}",
+        start.elapsed()
+    );
 
     // A few interpretable windows.
     println!();
@@ -72,6 +78,9 @@ fn main() {
         ("noisy regime    ", 2 * n / 3, n),
         ("whole series    ", 0, n),
     ] {
-        println!("LIS over {label} [{l:>6}, {r:>6}) = {}", index.lis_window(l, r));
+        println!(
+            "LIS over {label} [{l:>6}, {r:>6}) = {}",
+            index.lis_window(l, r)
+        );
     }
 }

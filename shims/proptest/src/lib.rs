@@ -1,0 +1,123 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest) crate.
+//!
+//! The build environment has no registry access, so this shim reimplements the
+//! slice of proptest the workspace's property tests use:
+//!
+//! * the [`strategy::Strategy`] trait with [`strategy::Just`], integer-range
+//!   strategies, tuples, `prop_map`, `prop_flat_map` and `prop_shuffle`;
+//! * [`collection::vec`](fn@crate::collection::vec) for variable-length vectors;
+//! * the [`proptest!`] macro plus [`prop_assert!`], [`prop_assert_eq!`],
+//!   [`prop_assert_ne!`] and [`prop_assume!`];
+//! * [`test_runner::ProptestConfig`] (only `cases` is honoured).
+//!
+//! Semantics differences from the real crate, deliberately accepted for an
+//! offline test environment: inputs are drawn from a **deterministic** RNG seeded
+//! from the test's name (every run explores the same cases), and failures are
+//! **not shrunk** — the failing assertion simply panics with the offending
+//! values via the standard assertion message.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// The items most users need, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+
+    /// Namespaced access to strategy constructors (`prop::collection::vec`, …).
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::strategy;
+    }
+}
+
+/// Declares a block of property tests.
+///
+/// Supported grammar (the subset of real proptest this workspace uses):
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(48))]
+///
+///     /// Doc comments and attributes pass through.
+///     #[test]
+///     fn my_property((a, b) in pair_strategy(), n in 1usize..10) {
+///         prop_assert!(a + n > 0);
+///     }
+/// }
+/// ```
+///
+/// Each test runs `config.cases` iterations with inputs drawn from a
+/// deterministic per-test RNG. No shrinking is performed.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_body!(($config) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body!(($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Implementation detail of [`proptest!`]; do not invoke directly.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    (($config:expr)) => {};
+    (($config:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config = $config;
+            let mut __rng = $crate::test_runner::rng_for_test(stringify!($name));
+            for __case in 0..__config.cases {
+                let ($($pat,)+) = (
+                    $( $crate::strategy::Strategy::sample(&($strat), &mut __rng), )+
+                );
+                // prop_assume! skips a case by returning from this closure.
+                let mut __run = || $body;
+                __run();
+            }
+        }
+        $crate::__proptest_body!(($config) $($rest)*);
+    };
+}
+
+/// Asserts a condition inside a property test (plain `assert!` here).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($arg:tt)*) => { assert!($($arg)*) };
+}
+
+/// Asserts equality inside a property test (plain `assert_eq!` here).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($arg:tt)*) => { assert_eq!($($arg)*) };
+}
+
+/// Asserts inequality inside a property test (plain `assert_ne!` here).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($arg:tt)*) => { assert_ne!($($arg)*) };
+}
+
+/// Skips the current test case when the precondition does not hold.
+///
+/// Expands to an early `return` from the case closure, so the case is silently
+/// discarded (it still counts toward the case budget, unlike real proptest).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return;
+        }
+    };
+}

@@ -1,0 +1,36 @@
+//! Test-runner configuration and the deterministic per-test RNG.
+
+use rand::prelude::*;
+
+/// Configuration accepted by `#![proptest_config(...)]`.
+///
+/// Only `cases` is honoured by this shim.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` iterations per property.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+/// Deterministic RNG for a property test, seeded from the test's name
+/// (FNV-1a), so every run of the suite explores the same inputs.
+pub fn rng_for_test(name: &str) -> StdRng {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in name.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x1000_0000_01b3);
+    }
+    StdRng::seed_from_u64(hash)
+}

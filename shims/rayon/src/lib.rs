@@ -1,0 +1,151 @@
+//! Offline stand-in for the [`rayon`](https://crates.io/crates/rayon) crate.
+//!
+//! The build environment has no registry access, so this shim provides the exact
+//! method surface `mpc-runtime` calls — `par_iter`, `par_iter_mut`,
+//! `into_par_iter`, `par_sort`, `par_sort_by`, `par_sort_unstable` and [`join`] —
+//! but executes everything **sequentially** on the calling thread: the "parallel"
+//! iterators are the corresponding [`std`] iterators, so every adapter
+//! (`map`, `zip`, `enumerate`, `collect`, …) keeps working unchanged.
+//!
+//! This preserves determinism and correctness of the MPC simulator; it gives up
+//! wall-clock speedups only. Swapping in the real rayon is a one-line change in
+//! the workspace manifest and is tracked as an open item in ROADMAP.md.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use core::cmp::Ordering;
+
+/// The traits users import, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParallelSliceExt, ParallelSliceMutExt};
+}
+
+/// Runs both closures (sequentially, despite the name) and returns both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+/// `into_par_iter()` for any owned collection: yields the ordinary
+/// [`IntoIterator`] iterator.
+pub trait IntoParallelIterator: IntoIterator + Sized {
+    /// Converts `self` into a (sequential) "parallel" iterator.
+    fn into_par_iter(self) -> Self::IntoIter {
+        self.into_iter()
+    }
+}
+
+impl<T: IntoIterator> IntoParallelIterator for T {}
+
+/// `par_iter()` / `par_iter_mut()` on slices (and, via deref, `Vec`s).
+pub trait ParallelSliceExt<T> {
+    /// Sequential stand-in for `rayon`'s `par_iter`.
+    fn par_iter(&self) -> core::slice::Iter<'_, T>;
+
+    /// Sequential stand-in for `rayon`'s `par_iter_mut`.
+    fn par_iter_mut(&mut self) -> core::slice::IterMut<'_, T>;
+}
+
+impl<T> ParallelSliceExt<T> for [T] {
+    fn par_iter(&self) -> core::slice::Iter<'_, T> {
+        self.iter()
+    }
+
+    fn par_iter_mut(&mut self) -> core::slice::IterMut<'_, T> {
+        self.iter_mut()
+    }
+}
+
+/// `par_sort*` on slices (and, via deref, `Vec`s).
+pub trait ParallelSliceMutExt<T> {
+    /// Stable sort (sequential stand-in for `par_sort`).
+    fn par_sort(&mut self)
+    where
+        T: Ord;
+
+    /// Stable sort by comparator (sequential stand-in for `par_sort_by`).
+    fn par_sort_by<F>(&mut self, compare: F)
+    where
+        F: FnMut(&T, &T) -> Ordering;
+
+    /// Stable sort by key (sequential stand-in for `par_sort_by_key`).
+    fn par_sort_by_key<K, F>(&mut self, key: F)
+    where
+        K: Ord,
+        F: FnMut(&T) -> K;
+
+    /// Unstable sort (sequential stand-in for `par_sort_unstable`).
+    fn par_sort_unstable(&mut self)
+    where
+        T: Ord;
+
+    /// Unstable sort by comparator (sequential stand-in for
+    /// `par_sort_unstable_by`).
+    fn par_sort_unstable_by<F>(&mut self, compare: F)
+    where
+        F: FnMut(&T, &T) -> Ordering;
+}
+
+impl<T> ParallelSliceMutExt<T> for [T] {
+    fn par_sort(&mut self)
+    where
+        T: Ord,
+    {
+        self.sort();
+    }
+
+    fn par_sort_by<F>(&mut self, compare: F)
+    where
+        F: FnMut(&T, &T) -> Ordering,
+    {
+        self.sort_by(compare);
+    }
+
+    fn par_sort_by_key<K, F>(&mut self, key: F)
+    where
+        K: Ord,
+        F: FnMut(&T) -> K,
+    {
+        self.sort_by_key(key);
+    }
+
+    fn par_sort_unstable(&mut self)
+    where
+        T: Ord,
+    {
+        self.sort_unstable();
+    }
+
+    fn par_sort_unstable_by<F>(&mut self, compare: F)
+    where
+        F: FnMut(&T, &T) -> Ordering,
+    {
+        self.sort_unstable_by(compare);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_surface_behaves_like_std() {
+        let v = vec![3u32, 1, 2];
+        let doubled: Vec<u32> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![6, 2, 4]);
+
+        let mut s = v.clone();
+        s.par_sort();
+        assert_eq!(s, vec![1, 2, 3]);
+
+        let sum: u32 = v.into_par_iter().sum();
+        assert_eq!(sum, 6);
+
+        let (a, b) = super::join(|| 1, || 2);
+        assert_eq!((a, b), (1, 2));
+    }
+}

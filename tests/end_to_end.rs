@@ -3,7 +3,9 @@
 //! baselines.
 
 use monge_mpc_suite::monge::multiway::mul_multiway;
-use monge_mpc_suite::monge::verify::{explicit_distribution, is_monge, is_subunit_monge, verify_product};
+use monge_mpc_suite::monge::verify::{
+    explicit_distribution, is_monge, is_subunit_monge, verify_product,
+};
 use monge_mpc_suite::monge::{mul_dense, mul_steady_ant, PermutationMatrix};
 use monge_mpc_suite::monge_mpc::{self, GridPhase, MulParams};
 use monge_mpc_suite::mpc_runtime::{Cluster, MpcConfig};
@@ -30,7 +32,10 @@ fn all_multiplication_engines_agree() {
         assert_eq!(mul_multiway(&a, &b, 4, 16), dense);
 
         let mut cluster = Cluster::new(MpcConfig::new(n, 0.5).with_space(24));
-        let params = MulParams::default().with_local_threshold(16).with_h(3).with_g(8);
+        let params = MulParams::default()
+            .with_local_threshold(16)
+            .with_h(3)
+            .with_g(8);
         assert_eq!(monge_mpc::mul(&mut cluster, &a, &b, &params), dense);
         assert!(verify_product(&a, &b, &dense));
     }
@@ -96,7 +101,10 @@ fn kernel_composition_through_mpc_multiplication() {
     let (p1, p2) = seaweed_lis::kernel::compose_operands(&k1, &k2);
 
     let mut cluster = Cluster::new(MpcConfig::new(p1.size(), 0.5).with_space(12));
-    let params = MulParams::default().with_local_threshold(8).with_h(2).with_g(6);
+    let params = MulParams::default()
+        .with_local_threshold(8)
+        .with_h(2)
+        .with_g(6);
     let product = monge_mpc::mul(&mut cluster, &p1, &p2, &params);
     let composed = seaweed_lis::kernel::compose_from_product(&k1, &k2, product);
 
@@ -147,7 +155,12 @@ fn deterministic_across_runs() {
     let run = || {
         let mut cluster = Cluster::new(MpcConfig::new(n, 0.5).with_space(32));
         let out = lis_mpc::lis_kernel_mpc(&mut cluster, &seq, &MulParams::default());
-        (out.length, out.levels, cluster.rounds(), cluster.ledger().communication)
+        (
+            out.length,
+            out.levels,
+            cluster.rounds(),
+            cluster.ledger().communication,
+        )
     };
     assert_eq!(run(), run());
 }

@@ -1,19 +1,19 @@
 //! Ablation (DESIGN.md §6): how the fan-out `H` and the grid spacing `G` trade
 //! rounds against communication and peak load, for one multiplication at fixed n, δ.
 //!
-//! Run with: `cargo run --release -p bench-suite --bin exp_ablation`
+//! Run with: `cargo run --release -p bench --bin exp_ablation [-- --json --threads N]`
 
-use bench_suite::{random_permutation, Table};
+use bench_suite::{json_envelope, random_permutation, ExpOpts, Table};
 use monge_mpc::MulParams;
 use mpc_runtime::{Cluster, MpcConfig};
 
 fn main() {
+    let opts = ExpOpts::from_env();
     let n = 1usize << 14;
     let delta = 0.5;
     let a = random_permutation(n, 31);
     let b = random_permutation(n, 32);
 
-    println!("Ablation: ⊡ at n = {n}, δ = {delta}\n");
     let mut table = Table::new(vec!["H", "G", "rounds", "comm", "peak load", "violations"]);
     let g_default = MpcConfig::new(n, delta).base_space();
     for &h in &[2usize, 4, 8, 16] {
@@ -32,6 +32,14 @@ fn main() {
             ]);
         }
     }
+    if opts.json {
+        println!(
+            "{}",
+            json_envelope("exp_ablation", &[("rows", table.render_json())])
+        );
+        return;
+    }
+    println!("Ablation: ⊡ at n = {n}, δ = {delta}\n");
     println!("{}", table.render());
     println!(
         "Reading: larger H shrinks the recursion depth (fewer rounds) at the price of more\n\

@@ -2,16 +2,16 @@
 //! Reports correctness against the quadratic DP, the number of matching pairs
 //! (the quantity behind the Õ(n²) total-space requirement) and the MPC round count.
 //!
-//! Run with: `cargo run --release -p bench-suite --bin exp_lcs`
+//! Run with: `cargo run --release -p bench --bin exp_lcs [-- --json --threads N]`
 
-use bench_suite::{random_sequence, Table};
+use bench_suite::{json_envelope, random_sequence, ExpOpts, Table};
 use lis_mpc::lcs::lcs_mpc;
 use monge_mpc::MulParams;
 use mpc_runtime::{Cluster, MpcConfig};
 use seaweed_lis::baselines::lcs_length_dp;
 
 fn main() {
-    println!("E6: LCS via Hunt–Szymanski on the MPC simulator\n");
+    let opts = ExpOpts::from_env();
     let mut table = Table::new(vec![
         "n",
         "alphabet",
@@ -44,6 +44,14 @@ fn main() {
             cluster.rounds().to_string(),
         ]);
     }
+    if opts.json {
+        println!(
+            "{}",
+            json_envelope("exp_lcs", &[("rows", table.render_json())])
+        );
+        return;
+    }
+    println!("E6: LCS via Hunt–Szymanski on the MPC simulator\n");
     println!("{}", table.render());
     println!(
         "Reading: the pair count — and with it the required total space — scales as ~n²/|Σ|,\n\

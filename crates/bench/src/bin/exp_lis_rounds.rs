@@ -2,17 +2,17 @@
 //! The harness fits `rounds ≈ a · log₂(n) + b` and reports the per-level round cost,
 //! which must stay flat as n grows.
 //!
-//! Run with: `cargo run --release -p bench-suite --bin exp_lis_rounds`
+//! Run with: `cargo run --release -p bench --bin exp_lis_rounds [-- --json --threads N]`
 
-use bench_suite::{noisy_trend, Table};
+use bench_suite::{json_envelope, noisy_trend, ExpOpts, Table};
 use lis_mpc::lis_kernel_mpc;
 use monge_mpc::MulParams;
 use mpc_runtime::{Cluster, MpcConfig};
 use seaweed_lis::baselines::lis_length_patience;
 
 fn main() {
+    let opts = ExpOpts::from_env();
     let delta = 0.5;
-    println!("E4: LIS rounds vs n (δ = {delta})\n");
     let mut table = Table::new(vec![
         "n",
         "LIS",
@@ -39,8 +39,6 @@ fn main() {
             format!("{:.1}", rounds as f64 / (n as f64).log2()),
         ]);
     }
-    println!("{}", table.render());
-
     // Least-squares fit rounds = a·log2(n) + b.
     let k = samples.len() as f64;
     let sx: f64 = samples.iter().map(|s| s.0).sum();
@@ -49,6 +47,23 @@ fn main() {
     let sxy: f64 = samples.iter().map(|s| s.0 * s.1).sum();
     let a = (k * sxy - sx * sy) / (k * sxx - sx * sx);
     let b = (sy - a * sx) / k;
+
+    if opts.json {
+        println!(
+            "{}",
+            json_envelope(
+                "exp_lis_rounds",
+                &[
+                    ("rows", table.render_json()),
+                    ("fit_slope", format!("{a:.3}")),
+                    ("fit_intercept", format!("{b:.3}")),
+                ]
+            )
+        );
+        return;
+    }
+    println!("E4: LIS rounds vs n (δ = {delta})\n");
+    println!("{}", table.render());
     println!("least-squares fit: rounds ≈ {a:.1} · log2(n) {b:+.1}");
     println!(
         "Reading: the measured rounds follow a·log2(n)+b with a stable per-level cost — the\n\

@@ -1,29 +1,41 @@
 //! Experiment E2 — Theorem 1.1 headline: the round count of one implicit unit-Monge
 //! multiplication is flat in `n` (for the paper's parameters) and compares against
 //! the §1.4 warmup baseline whose recursion depth — and hence round count — grows
-//! with `log n`.
+//! with `log n`. Also reports wall-clock time of the simulator's local phases,
+//! which scales with `--threads` (the round counts must not).
 //!
-//! Run with: `cargo run --release -p bench-suite --bin exp_mul_rounds`
+//! Run with: `cargo run --release -p bench --bin exp_mul_rounds [-- --json --threads N]`
 
-use bench_suite::{random_permutation, Table};
+use bench_suite::{json_envelope, random_permutation, ExpOpts, Table};
 use monge_mpc::MulParams;
 use mpc_runtime::{Cluster, MpcConfig};
+use std::time::Instant;
 
-fn measure(n: usize, delta: f64, params: &MulParams) -> (u64, u64, usize) {
+struct Measurement {
+    rounds: u64,
+    comm: u64,
+    load: usize,
+    wall_ms: f64,
+}
+
+fn measure(n: usize, delta: f64, params: &MulParams) -> Measurement {
     let a = random_permutation(n, 1000 + n as u64);
     let b = random_permutation(n, 2000 + n as u64);
     let mut cluster = Cluster::new(MpcConfig::new(n, delta));
+    let start = Instant::now();
     let _ = monge_mpc::mul(&mut cluster, &a, &b, params);
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
     let l = cluster.ledger();
-    (l.rounds, l.communication, l.max_machine_load)
+    Measurement {
+        rounds: l.rounds,
+        comm: l.communication,
+        load: l.max_machine_load,
+        wall_ms,
+    }
 }
 
 fn main() {
-    println!("E2: rounds of one ⊡ multiplication vs n and δ\n");
-    println!(
-        "(\"paper\" rows use H = 8 — at these sizes the asymptotic n^{{(1-δ)/10}} is still ≈ 2 —\n\
-         the warmup baseline keeps the binary splits of §1.4.)\n"
-    );
+    let opts = ExpOpts::from_env();
     let mut table = Table::new(vec![
         "δ",
         "n",
@@ -31,6 +43,8 @@ fn main() {
         "rounds (warmup H=2)",
         "comm (paper)",
         "peak load",
+        "wall ms (paper)",
+        "wall ms (warmup)",
     ]);
     let paper = MulParams::default().with_h(8);
     for &delta in &[0.25, 0.5, 0.75] {
@@ -42,18 +56,35 @@ fn main() {
             &[1 << 12, 1 << 14]
         };
         for &n in sizes {
-            let (rounds, comm, load) = measure(n, delta, &paper);
-            let (warmup_rounds, _, _) = measure(n, delta, &MulParams::warmup());
+            let m = measure(n, delta, &paper);
+            let w = measure(n, delta, &MulParams::warmup());
             table.row(vec![
                 format!("{delta}"),
                 n.to_string(),
-                rounds.to_string(),
-                warmup_rounds.to_string(),
-                comm.to_string(),
-                load.to_string(),
+                m.rounds.to_string(),
+                w.rounds.to_string(),
+                m.comm.to_string(),
+                m.load.to_string(),
+                format!("{:.1}", m.wall_ms),
+                format!("{:.1}", w.wall_ms),
             ]);
         }
     }
+
+    if opts.json {
+        println!(
+            "{}",
+            json_envelope("exp_mul_rounds", &[("rows", table.render_json())])
+        );
+        return;
+    }
+    println!("E2: rounds of one ⊡ multiplication vs n and δ\n");
+    println!(
+        "(\"paper\" rows use H = 8 — at these sizes the asymptotic n^{{(1-δ)/10}} is still ≈ 2 —\n\
+         the warmup baseline keeps the binary splits of §1.4. Wall-clock columns measure the\n\
+         simulator's local phases on {} thread(s); rounds are thread-count invariant.)\n",
+        opts.effective_threads()
+    );
     println!("{}", table.render());
     println!(
         "Reading: for fixed δ the H = 8 rounds stay (near-)constant as n grows 16×, because the\n\

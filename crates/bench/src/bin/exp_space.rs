@@ -6,16 +6,16 @@
 //! engineering deviations (reference grid phase gather, factor-H routing; see
 //! DESIGN.md §3) exceeded the budget.
 //!
-//! Run with: `cargo run --release -p bench-suite --bin exp_space`
+//! Run with: `cargo run --release -p bench --bin exp_space [-- --json --threads N]`
 
-use bench_suite::{noisy_trend, random_permutation, Table};
+use bench_suite::{json_envelope, noisy_trend, random_permutation, ExpOpts, Table};
 use lis_mpc::lis_length_mpc;
 use monge_mpc::MulParams;
 use mpc_runtime::{Cluster, MpcConfig};
 
 fn main() {
+    let opts = ExpOpts::from_env();
     let n = 1usize << 14;
-    println!("E3: space profile at n = {n}\n");
     let mut table = Table::new(vec![
         "workload",
         "δ",
@@ -63,6 +63,14 @@ fn main() {
             format!("{:.1}", l.communication as f64 / n as f64),
         ]);
     }
+    if opts.json {
+        println!(
+            "{}",
+            json_envelope("exp_space", &[("rows", table.render_json())])
+        );
+        return;
+    }
+    println!("E3: space profile at n = {n}\n");
     println!("{}", table.render());
     println!(
         "Reading: the per-machine budget shrinks as δ grows while the machine count grows. The\n\

@@ -6,25 +6,30 @@
 //! Θ(log² n)-ish rounds in the multiplication depth). The published comparators
 //! (KT10a, CHS23, IMS17) are reported analytically, as in the paper's table.
 //!
-//! Run with: `cargo run --release -p bench-suite --bin table1`
+//! Run with: `cargo run --release -p bench --bin table1 [-- --json --threads N]`
 
-use bench_suite::{noisy_trend, Table};
+use bench_suite::{json_envelope, noisy_trend, ExpOpts, Table};
 use lis_mpc::lis_kernel_mpc;
 use monge_mpc::MulParams;
 use mpc_runtime::{Cluster, MpcConfig};
+use std::time::Instant;
 
-fn measure(n: usize, delta: f64, params: &MulParams) -> (u64, usize, usize) {
+fn measure(n: usize, delta: f64, params: &MulParams) -> (u64, usize, usize, f64) {
     let seq = noisy_trend(n, (n / 4).max(2) as u32, 0xC0FFEE + n as u64);
     let mut cluster = Cluster::new(MpcConfig::new(n, delta));
+    let start = Instant::now();
     let outcome = lis_kernel_mpc(&mut cluster, &seq, params);
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
     (
         cluster.rounds(),
         outcome.levels,
         cluster.ledger().max_machine_load,
+        wall_ms,
     )
 }
 
 fn main() {
+    let opts = ExpOpts::from_env();
     let delta = 0.5;
     let sizes = [1usize << 12, 1 << 14, 1 << 16];
     // At these input sizes the paper's asymptotic fan-out n^{(1-δ)/10} is still ≈ 2,
@@ -34,18 +39,13 @@ fn main() {
     // identically.
     let paper_params = MulParams::default().with_h(8);
 
-    println!("Table 1 (paper) — summary of massively parallel LIS algorithms");
-    println!();
     let mut published = Table::new(vec!["reference", "rounds", "scalability", "approximation"]);
     published.row(vec!["[KT10a]", "O(log² n)", "δ < 1/3", "exact"]);
     published.row(vec!["[IMS17]", "O(log n)", "fully-scalable", "1 + ε"]);
     published.row(vec!["[IMS17]", "O(1)", "δ < 1/4", "1 + ε"]);
     published.row(vec!["[CHS23]", "O(log⁴ n)", "fully-scalable", "exact"]);
     published.row(vec!["this paper", "O(log n)", "fully-scalable", "exact"]);
-    println!("{}", published.render());
 
-    println!("Measured on the MPC simulator (δ = {delta}), exact LIS:");
-    println!();
     let mut measured = Table::new(vec![
         "algorithm",
         "n",
@@ -53,12 +53,13 @@ fn main() {
         "merge levels",
         "rounds / log2(n)",
         "peak load / s",
+        "wall ms",
     ]);
     for &n in &sizes {
         let s = MpcConfig::new(n, delta).space as f64;
         let log2n = (n as f64).log2();
 
-        let (rounds, levels, load) = measure(n, delta, &paper_params);
+        let (rounds, levels, load, wall_ms) = measure(n, delta, &paper_params);
         measured.row(vec![
             "this paper (H = 8)".to_string(),
             n.to_string(),
@@ -66,9 +67,10 @@ fn main() {
             levels.to_string(),
             format!("{:.1}", rounds as f64 / log2n),
             format!("{:.2}", load as f64 / s),
+            format!("{:.1}", wall_ms),
         ]);
 
-        let (rounds, levels, load) = measure(n, delta, &MulParams::warmup());
+        let (rounds, levels, load, wall_ms) = measure(n, delta, &MulParams::warmup());
         measured.row(vec![
             "warmup baseline (H = 2, §1.4)".to_string(),
             n.to_string(),
@@ -76,8 +78,31 @@ fn main() {
             levels.to_string(),
             format!("{:.1}", rounds as f64 / log2n),
             format!("{:.2}", load as f64 / s),
+            format!("{:.1}", wall_ms),
         ]);
     }
+
+    if opts.json {
+        println!(
+            "{}",
+            json_envelope(
+                "table1",
+                &[
+                    ("published", published.render_json()),
+                    ("measured", measured.render_json()),
+                ]
+            )
+        );
+        return;
+    }
+    println!("Table 1 (paper) — summary of massively parallel LIS algorithms");
+    println!();
+    println!("{}", published.render());
+    println!(
+        "Measured on the MPC simulator (δ = {delta}, {} thread(s)), exact LIS:",
+        opts.effective_threads()
+    );
+    println!();
     println!("{}", measured.render());
     println!(
         "Reading: rounds / log2(n) stays flat for this paper's parameters (O(log n) total),\n\

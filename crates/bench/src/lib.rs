@@ -1,11 +1,158 @@
 //! Shared helpers for the benchmark and experiment harness: deterministic workload
-//! generators and plain-text table formatting used by the experiment binaries.
+//! generators, command-line options, and table formatting (plain text and JSON)
+//! used by the experiment binaries.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 use monge::PermutationMatrix;
 use rand::prelude::*;
+
+/// Command-line options shared by every `exp_*` / `table1` binary.
+///
+/// * `--json` — emit a machine-readable JSON document instead of the plain-text
+///   tables, so perf PRs can diff numbers.
+/// * `--threads N` — size the global thread pool before any work runs
+///   (equivalent to `RAYON_NUM_THREADS=N`, but overriding it), so one binary
+///   can be re-run at several thread counts to measure wall-clock speedup.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ExpOpts {
+    /// Emit JSON instead of plain-text tables.
+    pub json: bool,
+    /// Explicit thread-pool size (already applied by [`ExpOpts::from_env`]).
+    pub threads: Option<usize>,
+}
+
+impl ExpOpts {
+    /// Parses `std::env::args`, applies `--threads` to the global pool, and
+    /// returns the options. Unknown arguments print usage and exit.
+    pub fn from_env() -> Self {
+        fn usage(program: &str) -> ! {
+            eprintln!("usage: {program} [--json] [--threads N]");
+            std::process::exit(2);
+        }
+        let mut args = std::env::args();
+        let program = args.next().unwrap_or_else(|| "exp".into());
+        let mut opts = Self::default();
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--json" => opts.json = true,
+                "--threads" => match args.next().and_then(|v| v.parse().ok()) {
+                    Some(n) if n > 0 => opts.threads = Some(n),
+                    _ => usage(&program),
+                },
+                other => match other.strip_prefix("--threads=") {
+                    Some(v) => match v.parse() {
+                        Ok(n) if n > 0 => opts.threads = Some(n),
+                        _ => usage(&program),
+                    },
+                    None => usage(&program),
+                },
+            }
+        }
+        if let Some(n) = opts.threads {
+            rayon::ThreadPoolBuilder::new()
+                .num_threads(n)
+                .build_global()
+                .expect("configuring the global thread pool cannot fail");
+        }
+        opts
+    }
+
+    /// The thread count experiments should report: the explicit `--threads`
+    /// value, or whatever the pool resolved from the environment.
+    pub fn effective_threads(&self) -> usize {
+        self.threads.unwrap_or_else(rayon::current_num_threads)
+    }
+}
+
+/// Escapes a string for embedding in a JSON document.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Whether `s` matches the JSON number grammar exactly
+/// (`-?(0|[1-9][0-9]*)(\.[0-9]+)?([eE][+-]?[0-9]+)?`). Rust's `f64` parser is
+/// laxer than JSON (`"+1"`, `"1."`, `".5"`), so cells must pass this check to
+/// be emitted unquoted.
+fn is_json_number(s: &str) -> bool {
+    let b = s.as_bytes();
+    let mut i = 0;
+    if b.first() == Some(&b'-') {
+        i += 1;
+    }
+    let int_start = i;
+    while i < b.len() && b[i].is_ascii_digit() {
+        i += 1;
+    }
+    if i == int_start || (b[int_start] == b'0' && i - int_start > 1) {
+        return false;
+    }
+    if i < b.len() && b[i] == b'.' {
+        i += 1;
+        let frac_start = i;
+        while i < b.len() && b[i].is_ascii_digit() {
+            i += 1;
+        }
+        if i == frac_start {
+            return false;
+        }
+    }
+    if i < b.len() && (b[i] == b'e' || b[i] == b'E') {
+        i += 1;
+        if i < b.len() && (b[i] == b'+' || b[i] == b'-') {
+            i += 1;
+        }
+        let exp_start = i;
+        while i < b.len() && b[i].is_ascii_digit() {
+            i += 1;
+        }
+        if i == exp_start {
+            return false;
+        }
+    }
+    i == b.len()
+}
+
+/// Renders a cell as a JSON value: numeric cells stay numbers, the rest
+/// become strings.
+fn json_cell(s: &str) -> String {
+    if is_json_number(s) {
+        s.to_string()
+    } else {
+        format!("\"{}\"", json_escape(s))
+    }
+}
+
+/// Wraps named JSON fragments into one experiment document:
+/// `{"experiment": ..., "threads": N, "<name>": <value>, ...}`.
+///
+/// `parts` values must already be valid JSON (e.g. from [`Table::render_json`]
+/// or a bare number).
+pub fn json_envelope(experiment: &str, parts: &[(&str, String)]) -> String {
+    let mut out = format!(
+        "{{\"experiment\":\"{}\",\"threads\":{}",
+        json_escape(experiment),
+        rayon::current_num_threads()
+    );
+    for (name, value) in parts {
+        out.push_str(&format!(",\"{}\":{}", json_escape(name), value));
+    }
+    out.push('}');
+    out
+}
 
 /// Deterministic random permutation of `0..n`.
 pub fn random_permutation(n: usize, seed: u64) -> PermutationMatrix {
@@ -50,6 +197,27 @@ impl Table {
         let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
         assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
         self.rows.push(cells);
+    }
+
+    /// Renders the table as a JSON array of row objects keyed by the headers;
+    /// numeric-looking cells are emitted as JSON numbers.
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("[");
+        for (i, row) in self.rows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('{');
+            for (j, (header, cell)) in self.headers.iter().zip(row).enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("\"{}\":{}", json_escape(header), json_cell(cell)));
+            }
+            out.push('}');
+        }
+        out.push(']');
+        out
     }
 
     /// Renders the table with aligned columns.
@@ -100,5 +268,38 @@ mod tests {
         let rendered = t.render();
         assert!(rendered.contains("ours"));
         assert!(rendered.lines().count() == 4);
+    }
+
+    #[test]
+    fn table_renders_json_rows() {
+        let mut t = Table::new(vec!["algo", "rounds", "ratio"]);
+        t.row(vec!["ours \"fast\"", "42", "0.50"]);
+        assert_eq!(
+            t.render_json(),
+            r#"[{"algo":"ours \"fast\"","rounds":42,"ratio":0.50}]"#
+        );
+    }
+
+    #[test]
+    fn json_cells_follow_json_number_grammar() {
+        // Rust-parseable but JSON-invalid numbers must be quoted.
+        let mut t = Table::new(vec!["a", "b", "c", "d", "e"]);
+        t.row(vec!["+1", "1.", ".5", "007", "-0.5e+3"]);
+        assert_eq!(
+            t.render_json(),
+            r#"[{"a":"+1","b":"1.","c":".5","d":"007","e":-0.5e+3}]"#
+        );
+    }
+
+    #[test]
+    fn json_envelope_wraps_parts() {
+        let doc = json_envelope("exp_x", &[("rows", "[1,2]".to_string())]);
+        assert!(doc.starts_with("{\"experiment\":\"exp_x\",\"threads\":"));
+        assert!(doc.ends_with(",\"rows\":[1,2]}"));
+    }
+
+    #[test]
+    fn json_escape_handles_specials() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
     }
 }

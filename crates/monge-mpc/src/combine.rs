@@ -26,6 +26,7 @@ use monge::multiway::{
     opt_breakpoints_from_cmp, process_subgrid, ColoredPoint, MultiwayOracle, SubgridInstance,
 };
 use mpc_runtime::{Cluster, DistVec};
+use rayon::prelude::*;
 use std::collections::HashMap;
 
 /// A nonzero of the union permutation, tagged with its parent instance and color.
@@ -298,30 +299,40 @@ fn grid_phase_reference(
 }
 
 /// Computes every vertical grid line's demarcation rows from an oracle.
+///
+/// The grid lines are independent of one another (each needs only the shared,
+/// read-only oracle), so the `h²/2` crossover computations of every line run
+/// concurrently — this is the §3.2 work the paper spreads over one machine per
+/// line, and the dominant local cost of the combine.
 fn grid_lines(oracle: &MultiwayOracle, spec: ParentSpec) -> Vec<LineInfo> {
     let n = spec.n as u32;
     let h = spec.h;
-    let mut out = Vec::new();
+    let mut columns = Vec::new();
     let mut c = 0u32;
     loop {
-        let mut cmp = vec![vec![0u32; h]; h];
-        for q in 0..h {
-            for r in q + 1..h {
-                cmp[q][r] = oracle.cmp(n, c, q, r);
-            }
-        }
-        let breakpoints = opt_breakpoints_from_cmp(&cmp, h, n);
-        out.push(LineInfo {
-            parent: spec.inst,
-            c,
-            b: b_vector(&breakpoints, h, n),
-        });
+        columns.push(c);
         if c >= n {
             break;
         }
         c = (c + spec.g as u32).min(n);
     }
-    out
+    columns
+        .into_par_iter()
+        .map(|c| {
+            let mut cmp = vec![vec![0u32; h]; h];
+            for q in 0..h {
+                for r in q + 1..h {
+                    cmp[q][r] = oracle.cmp(n, c, q, r);
+                }
+            }
+            let breakpoints = opt_breakpoints_from_cmp(&cmp, h, n);
+            LineInfo {
+                parent: spec.inst,
+                c,
+                b: b_vector(&breakpoints, h, n),
+            }
+        })
+        .collect()
 }
 
 /// Converts `opt(·, c)` breakpoints into the demarcation rows

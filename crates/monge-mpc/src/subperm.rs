@@ -12,6 +12,7 @@ use crate::mul::mul;
 use crate::params::MulParams;
 use monge::{PermutationMatrix, SubPermutationMatrix};
 use mpc_runtime::Cluster;
+use rayon::prelude::*;
 
 /// Multiplies two sub-permutation matrices on the cluster
 /// (`P_C = P_A ⊡ P_B`, Theorem 1.2).
@@ -54,7 +55,10 @@ pub fn mul_sub(
         col_rank_b[c] = i as u32;
     }
 
-    // (2) Padding to n2 × n2 permutation matrices.
+    // (2) Padding to n2 × n2 permutation matrices. Both padded vectors are
+    // built with the O(1)-round structure the paper prescribes: a (cheap,
+    // sequential) prefix count over the empty slots plus an embarrassingly
+    // parallel per-row fill — the per-item work runs on the thread pool.
     let mut col_used_a = vec![false; n2];
     for &r in &kept_rows_a {
         col_used_a[a.col_of(r).expect("kept rows are nonzero")] = true;
@@ -64,21 +68,28 @@ pub fn mul_sub(
     pa.extend(empty_cols_a.iter().map(|&c| c as u32));
     pa.extend(
         kept_rows_a
-            .iter()
-            .map(|&r| a.col_of(r).expect("nonzero") as u32),
+            .par_iter()
+            .map(|&r| a.col_of(r).expect("nonzero") as u32)
+            .collect::<Vec<u32>>(),
     );
 
-    let mut pb = Vec::with_capacity(n2);
-    let mut next_extra_col = r3 as u32;
+    // Exclusive prefix count of B's empty rows: row r's fresh column (when it
+    // has no nonzero) is `r3 + #{empty rows before r}`.
+    let mut empty_before_b = Vec::with_capacity(n2);
+    let mut empties = 0u32;
     for r in 0..n2 {
-        match b.col_of(r) {
-            Some(c) => pb.push(col_rank_b[c]),
-            None => {
-                pb.push(next_extra_col);
-                next_extra_col += 1;
-            }
+        empty_before_b.push(empties);
+        if b.col_of(r).is_none() {
+            empties += 1;
         }
     }
+    let pb: Vec<u32> = (0..n2)
+        .into_par_iter()
+        .map(|r| match b.col_of(r) {
+            Some(c) => col_rank_b[c],
+            None => r3 as u32 + empty_before_b[r],
+        })
+        .collect();
 
     // (3) Permutation product on the cluster (Theorem 1.1).
     let pc = mul(

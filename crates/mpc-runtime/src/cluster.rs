@@ -3,15 +3,160 @@
 use crate::config::MpcConfig;
 use crate::costs;
 use crate::distvec::DistVec;
-use crate::ledger::Ledger;
+use crate::ledger::{Ledger, Superstep};
 use rayon::prelude::*;
+
+/// Pure compute kernels: the parallel halves of the primitives.
+///
+/// Everything in this module is a function of its inputs alone — no ledger, no
+/// `&mut Cluster` — which is what allows it to fan out over worker threads
+/// while the accounting stays a single deterministic step on the calling
+/// thread. Each kernel produces output whose order is independent of the
+/// thread count.
+mod compute {
+    use rayon::prelude::*;
+
+    /// Splits items evenly across machines (block distribution). Each item is
+    /// moved exactly once — O(n) regardless of the machine count.
+    pub(super) fn balance<T: Send>(items: Vec<T>, machines: usize) -> Vec<Vec<T>> {
+        let m = machines.max(1);
+        let per = items.len().div_ceil(m).max(1);
+        let mut parts: Vec<Vec<T>> = Vec::with_capacity(m);
+        let mut iter = items.into_iter();
+        for _ in 0..m {
+            parts.push(iter.by_ref().take(per).collect());
+        }
+        // More items than m * per can only happen when machines was clamped
+        // from 0; append the leftovers to the last machine.
+        let rest: Vec<T> = iter.collect();
+        if !rest.is_empty() {
+            parts.last_mut().expect("at least one machine").extend(rest);
+        }
+        parts
+    }
+
+    /// Applies `f` to every machine's borrowed slice concurrently.
+    pub(super) fn per_part<T, U, F>(parts: &[Vec<T>], f: F) -> Vec<Vec<U>>
+    where
+        T: Sync,
+        U: Send,
+        F: Fn(usize, &[T]) -> Vec<U> + Send + Sync,
+    {
+        parts
+            .par_iter()
+            .enumerate()
+            .map(|(i, part)| f(i, part.as_slice()))
+            .collect()
+    }
+
+    /// Applies `f` to every machine's owned part concurrently.
+    pub(super) fn per_part_owned<T, U, F>(parts: Vec<Vec<T>>, f: F) -> Vec<Vec<U>>
+    where
+        T: Send,
+        U: Send,
+        F: Fn(Vec<T>) -> Vec<U> + Send + Sync,
+    {
+        parts.into_par_iter().map(f).collect()
+    }
+
+    /// Per-machine exclusive prefix sums in three phases: local pair building
+    /// (parallel), a scan over the machine totals (sequential, `O(machines)`),
+    /// and base-offset application (parallel). Mirrors the Lemma 2.4 structure:
+    /// only the per-machine totals cross machine boundaries.
+    pub(super) fn prefix_sums<T, F>(parts: Vec<Vec<T>>, weight: F) -> Vec<Vec<(T, u64)>>
+    where
+        T: Send,
+        F: Fn(&T) -> u64 + Send + Sync,
+    {
+        let local: Vec<(Vec<(T, u64)>, u64)> = parts
+            .into_par_iter()
+            .map(|part| {
+                let mut running = 0u64;
+                let pairs: Vec<(T, u64)> = part
+                    .into_iter()
+                    .map(|item| {
+                        let w = weight(&item);
+                        let out = (item, running);
+                        running += w;
+                        out
+                    })
+                    .collect();
+                (pairs, running)
+            })
+            .collect();
+
+        let mut bases = Vec::with_capacity(local.len());
+        let mut running = 0u64;
+        for (_, total) in &local {
+            bases.push(running);
+            running += total;
+        }
+
+        local
+            .into_par_iter()
+            .zip(bases.par_iter().copied())
+            .map(|((mut pairs, _), base)| {
+                for (_, sum) in &mut pairs {
+                    *sum += base;
+                }
+                pairs
+            })
+            .collect()
+    }
+
+    /// Gathers items into key-sorted groups (stable within a group's arrival
+    /// order, deterministic at every thread count).
+    pub(super) fn gather_groups<T, K, FK>(parts: Vec<Vec<T>>, key: FK) -> Vec<(K, Vec<T>)>
+    where
+        T: Send,
+        K: Ord + Send + Sync,
+        FK: Fn(&T) -> K + Send + Sync,
+    {
+        let items: Vec<T> = parts.into_iter().flatten().collect();
+        let mut keyed: Vec<(K, T)> = items.into_par_iter().map(|t| (key(&t), t)).collect();
+        keyed.par_sort_by(|a, b| a.0.cmp(&b.0));
+        let mut groups: Vec<(K, Vec<T>)> = Vec::new();
+        for (k, t) in keyed {
+            match groups.last_mut() {
+                Some((gk, items)) if *gk == k => items.push(t),
+                _ => groups.push((k, vec![t])),
+            }
+        }
+        groups
+    }
+
+    /// Greedy packing: largest groups first, each onto the currently lightest
+    /// machine (the classical LPT heuristic); mirrors §3.3's "sort them in the
+    /// order of decreasing sizes and use greedy packing". Returns the machine
+    /// of every group and the per-machine loads.
+    pub(super) fn pack_groups(sizes: &[usize], machines: usize) -> (Vec<usize>, Vec<usize>) {
+        let mut order: Vec<usize> = (0..sizes.len()).collect();
+        order.sort_by_key(|&g| std::cmp::Reverse(sizes[g]));
+        let mut machine_of_group = vec![0usize; sizes.len()];
+        let mut loads = vec![0usize; machines];
+        for &g in &order {
+            let target = (0..machines).min_by_key(|&i| loads[i]).unwrap_or(0);
+            machine_of_group[g] = target;
+            loads[target] += sizes[g];
+        }
+        (machine_of_group, loads)
+    }
+}
 
 /// A simulated MPC cluster: machine layout, space budget and accounting ledger.
 ///
-/// All primitives take `&mut self` so that every data movement is recorded. Per-item
-/// and per-group local work runs in parallel with rayon — the simulator is itself a
-/// shared-memory parallel program, which is what makes the larger experiments
-/// tractable — but the *accounting* is strictly per the MPC model.
+/// Every primitive runs in **two phases**:
+///
+/// 1. **Compute** — the per-machine local work, executed by pure kernels in the
+///    private `compute` module. These fan out over the rayon thread pool and
+///    never borrow the ledger, so any number of worker threads can participate.
+/// 2. **Account** — one deterministic step on the calling thread that applies
+///    the superstep's [`Superstep`] receipt (rounds + communication) and
+///    observes the resulting load profile.
+///
+/// The accounting is strictly per the MPC model — the simulator's own
+/// parallelism is an execution detail, and rounds, communication, and outputs
+/// are bit-identical at every thread count (`RAYON_NUM_THREADS=1` included).
 pub struct Cluster {
     config: MpcConfig,
     ledger: Ledger,
@@ -60,8 +205,12 @@ impl Cluster {
         self.ledger.charge(primitive, rounds, self.phase.as_deref());
     }
 
-    fn charge(&mut self, primitive: &'static str, rounds: u64) {
-        self.ledger.charge(primitive, rounds, self.phase.as_deref());
+    /// The accounting phase of a primitive: applies the cost receipt, then
+    /// observes the output's load profile. Runs on the calling thread only.
+    fn account<T>(&mut self, step: Superstep, out: &DistVec<T>) {
+        let context = step.primitive;
+        self.ledger.apply(step, self.phase.as_deref());
+        self.observe(out, context);
     }
 
     fn observe<T>(&mut self, dv: &DistVec<T>, context: &'static str) {
@@ -78,27 +227,6 @@ impl Cluster {
         }
     }
 
-    /// Splits items evenly across machines (block distribution).
-    fn balance<T: Send>(&self, mut items: Vec<T>) -> Vec<Vec<T>> {
-        let m = self.config.machines;
-        let total = items.len();
-        let per = total.div_ceil(m.max(1)).max(1);
-        let mut parts: Vec<Vec<T>> = Vec::with_capacity(m);
-        // Draining from the back keeps this O(n); reverse chunk order afterwards.
-        let mut rest = items.split_off(0);
-        for _ in 0..m {
-            let take = per.min(rest.len());
-            let tail = rest.split_off(take);
-            parts.push(rest);
-            rest = tail;
-        }
-        if !rest.is_empty() {
-            // More items than m * per can only happen when m == 0 was clamped; append.
-            parts.last_mut().expect("at least one machine").extend(rest);
-        }
-        parts
-    }
-
     // ---------------------------------------------------------------------------
     // Data placement
     // ---------------------------------------------------------------------------
@@ -106,9 +234,8 @@ impl Cluster {
     /// Places the input on the cluster (the model assumes the input starts out
     /// distributed, so this charges no rounds).
     pub fn distribute<T: Send>(&mut self, items: Vec<T>) -> DistVec<T> {
-        self.charge("distribute", costs::DISTRIBUTE);
-        let dv = DistVec::from_parts(self.balance(items));
-        self.observe(&dv, "distribute");
+        let dv = DistVec::from_parts(compute::balance(items, self.config.machines));
+        self.account(Superstep::new("distribute", costs::DISTRIBUTE, 0), &dv);
         dv
     }
 
@@ -130,14 +257,9 @@ impl Cluster {
         U: Send,
         F: Fn(&T) -> U + Sync,
     {
-        self.charge("map", costs::LOCAL);
-        let parts = dv
-            .parts
-            .par_iter()
-            .map(|part| part.iter().map(&f).collect())
-            .collect();
+        let parts = compute::per_part(&dv.parts, |_, part| part.iter().map(&f).collect());
         let out = DistVec::from_parts(parts);
-        self.observe(&out, "map");
+        self.account(Superstep::local("map"), &out);
         out
     }
 
@@ -149,15 +271,9 @@ impl Cluster {
         U: Send,
         F: Fn(usize, &[T]) -> Vec<U> + Sync,
     {
-        self.charge("map_parts", costs::LOCAL);
-        let parts = dv
-            .parts
-            .par_iter()
-            .enumerate()
-            .map(|(i, part)| f(i, part))
-            .collect();
+        let parts = compute::per_part(&dv.parts, |i, part| f(i, part));
         let out = DistVec::from_parts(parts);
-        self.observe(&out, "map_parts");
+        self.account(Superstep::local("map_parts"), &out);
         out
     }
 
@@ -172,13 +288,11 @@ impl Cluster {
         K: Ord + Send,
         F: Fn(&T) -> K + Sync,
     {
-        self.charge("sort", costs::SORT);
         let total = dv.len() as u64;
-        self.ledger.communicate(total);
         let mut items: Vec<T> = dv.into_inner();
         items.par_sort_by(|a, b| key(a).cmp(&key(b)));
-        let out = DistVec::from_parts(self.balance(items));
-        self.observe(&out, "sort_by_key");
+        let out = DistVec::from_parts(compute::balance(items, self.config.machines));
+        self.account(Superstep::new("sort", costs::SORT, total), &out);
         out
     }
 
@@ -190,26 +304,14 @@ impl Cluster {
         T: Send,
         F: Fn(&T) -> u64 + Sync,
     {
-        self.charge("prefix_sum", costs::PREFIX_SUM);
         // Per-machine partial sums are exchanged (o(s) words); items stay in place.
-        self.ledger.communicate(dv.machines() as u64);
-        let mut running = 0u64;
-        let parts = dv
-            .parts
-            .into_iter()
-            .map(|part| {
-                part.into_iter()
-                    .map(|item| {
-                        let w = weight(&item);
-                        let out = (item, running);
-                        running += w;
-                        out
-                    })
-                    .collect()
-            })
-            .collect();
+        let machines = dv.machines() as u64;
+        let parts = compute::prefix_sums(dv.parts, &weight);
         let out = DistVec::from_parts(parts);
-        self.observe(&out, "prefix_sums");
+        self.account(
+            Superstep::new("prefix_sum", costs::PREFIX_SUM, machines),
+            &out,
+        );
         out
     }
 
@@ -231,14 +333,16 @@ impl Cluster {
         FV: Fn(&T) -> (K, u64) + Sync,
         FQ: Fn(&Q) -> (K, u64) + Sync,
     {
-        self.charge("rank_search", costs::RANK_SEARCH);
-        self.ledger
-            .communicate(values.len() as u64 + 2 * queries.len() as u64);
+        let communication = values.len() as u64 + 2 * queries.len() as u64;
 
         // Globally sort the value keys once; answer each query by binary search in
-        // its group's slice. (The simulated cost model already charged the sort +
-        // prefix-sum rounds above.)
-        let mut keyed: Vec<(K, u64)> = values.iter().map(vkey).collect();
+        // its group's slice. (The simulated cost model charges the sort +
+        // prefix-sum rounds in the accounting phase.)
+        let mut keyed: Vec<(K, u64)> =
+            compute::per_part(&values.parts, |_, part| part.iter().map(&vkey).collect())
+                .into_iter()
+                .flatten()
+                .collect();
         keyed.par_sort();
         let answer = |q: &Q| -> u64 {
             let (group, threshold) = qkey(q);
@@ -246,20 +350,19 @@ impl Cluster {
             let hi = keyed[lo..].partition_point(|(g, v)| *g == group && *v < threshold);
             hi as u64
         };
-        let parts: Vec<Vec<(Q, u64)>> = queries
-            .parts
-            .into_par_iter()
-            .map(|part| {
-                part.into_iter()
-                    .map(|q| {
-                        let c = answer(&q);
-                        (q, c)
-                    })
-                    .collect()
-            })
-            .collect();
+        let parts = compute::per_part_owned(queries.parts, |part| {
+            part.into_iter()
+                .map(|q| {
+                    let c = answer(&q);
+                    (q, c)
+                })
+                .collect()
+        });
         let out = DistVec::from_parts(parts);
-        self.observe(&out, "rank_search");
+        self.account(
+            Superstep::new("rank_search", costs::RANK_SEARCH, communication),
+            &out,
+        );
         out
     }
 
@@ -277,34 +380,20 @@ impl Cluster {
         FK: Fn(&T) -> K + Sync,
         F: Fn(&K, Vec<T>) -> Vec<U> + Sync + Send,
     {
-        self.charge("group_map", costs::GROUP_MAP);
-        self.ledger.communicate(dv.len() as u64);
-
-        // Gather groups.
-        let mut items: Vec<T> = dv.into_inner();
-        let mut keyed: Vec<(K, T)> = items.drain(..).map(|t| (key(&t), t)).collect();
-        keyed.sort_by(|a, b| a.0.cmp(&b.0));
-        let mut groups: Vec<(K, Vec<T>)> = Vec::new();
-        for (k, t) in keyed {
-            match groups.last_mut() {
-                Some((gk, items)) if *gk == k => items.push(t),
-                _ => groups.push((k, vec![t])),
-            }
-        }
-
-        // Greedy packing: largest groups first, each into the currently lightest
-        // machine (the classical LPT heuristic); mirrors §3.3's "sort them in the
-        // order of decreasing sizes and use greedy packing".
+        let total = dv.len() as u64;
         let m = self.config.machines;
-        let mut order: Vec<usize> = (0..groups.len()).collect();
-        order.sort_by_key(|&g| std::cmp::Reverse(groups[g].1.len()));
-        let mut machine_of_group = vec![0usize; groups.len()];
-        let mut loads = vec![0usize; m];
-        for &g in &order {
-            let target = (0..m).min_by_key(|&i| loads[i]).unwrap_or(0);
-            machine_of_group[g] = target;
-            loads[target] += groups[g].1.len();
-        }
+
+        // Compute: gather groups, pick the packing.
+        let groups = compute::gather_groups(dv.parts, &key);
+        let sizes: Vec<usize> = groups.iter().map(|(_, items)| items.len()).collect();
+        let (machine_of_group, loads) = compute::pack_groups(&sizes, m);
+
+        // Account the shuffle and the packed load profile *before* running the
+        // groups, so strict clusters refuse oversized groups up front.
+        self.ledger.apply(
+            Superstep::new("group_map", costs::GROUP_MAP, total),
+            self.phase.as_deref(),
+        );
         let violated = self
             .ledger
             .observe_loads(loads.iter().copied(), self.config.space);
@@ -316,7 +405,8 @@ impl Cluster {
             );
         }
 
-        // Run every group (in parallel), then collect results onto their machines.
+        // Compute: run every group concurrently, then collect results onto their
+        // machines (a deterministic sequential scatter).
         let results: Vec<(usize, Vec<U>)> = groups
             .into_par_iter()
             .zip(machine_of_group.par_iter().copied())
@@ -334,7 +424,6 @@ impl Cluster {
     /// Concatenates two distributed vectors machine-wise (no data movement, no
     /// rounds): machine `i` simply owns both its parts.
     pub fn concat<T: Send>(&mut self, a: DistVec<T>, b: DistVec<T>) -> DistVec<T> {
-        self.charge("concat", costs::LOCAL);
         let mut parts: Vec<Vec<T>> = a.parts;
         let m = parts.len().max(b.parts.len()).max(self.config.machines);
         parts.resize_with(m, Vec::new);
@@ -342,7 +431,7 @@ impl Cluster {
             parts[i].append(&mut p);
         }
         let out = DistVec::from_parts(parts);
-        self.observe(&out, "concat");
+        self.account(Superstep::local("concat"), &out);
         out
     }
 
@@ -352,14 +441,11 @@ impl Cluster {
         T: Send,
         F: Fn(&T) -> bool + Sync,
     {
-        self.charge("filter", costs::LOCAL);
-        let parts = dv
-            .parts
-            .into_par_iter()
-            .map(|part| part.into_iter().filter(|t| keep(t)).collect())
-            .collect();
+        let parts = compute::per_part_owned(dv.parts, |part| {
+            part.into_iter().filter(|t| keep(t)).collect()
+        });
         let out = DistVec::from_parts(parts);
-        self.observe(&out, "filter");
+        self.account(Superstep::local("filter"), &out);
         out
     }
 
@@ -370,14 +456,9 @@ impl Cluster {
         U: Send,
         F: Fn(&T) -> Vec<U> + Sync,
     {
-        self.charge("flat_map", costs::LOCAL);
-        let parts = dv
-            .parts
-            .par_iter()
-            .map(|part| part.iter().flat_map(&f).collect())
-            .collect();
+        let parts = compute::per_part(&dv.parts, |_, part| part.iter().flat_map(&f).collect());
         let out = DistVec::from_parts(parts);
-        self.observe(&out, "flat_map");
+        self.account(Superstep::local("flat_map"), &out);
         out
     }
 
@@ -388,8 +469,10 @@ impl Cluster {
 
     /// Broadcasts a small value to all machines (Õ(s) words per machine).
     pub fn broadcast<T: Clone>(&mut self, value: T) -> T {
-        self.charge("broadcast", costs::BROADCAST);
-        self.ledger.communicate(self.config.machines as u64);
+        self.ledger.apply(
+            Superstep::new("broadcast", costs::BROADCAST, self.config.machines as u64),
+            self.phase.as_deref(),
+        );
         value
     }
 
@@ -397,13 +480,19 @@ impl Cluster {
     /// (Lemma 2.3): each pair `(i, p_i)` is routed to the machine responsible for
     /// `p_i` and stored as `(p_i, i)`.
     pub fn inverse_permutation(&mut self, dv: DistVec<(u32, u32)>) -> DistVec<(u32, u32)> {
-        self.charge("inverse_permutation", costs::INVERSE_PERMUTATION);
-        self.ledger.communicate(dv.len() as u64);
-        let swapped: Vec<(u32, u32)> = dv.into_inner().into_iter().map(|(i, p)| (p, i)).collect();
-        let mut items = swapped;
+        let total = dv.len() as u64;
+        let mut items: Vec<(u32, u32)> = compute::per_part_owned(dv.parts, |part| {
+            part.into_iter().map(|(i, p)| (p, i)).collect()
+        })
+        .into_iter()
+        .flatten()
+        .collect();
         items.par_sort_unstable();
-        let out = DistVec::from_parts(self.balance(items));
-        self.observe(&out, "inverse_permutation");
+        let out = DistVec::from_parts(compute::balance(items, self.config.machines));
+        self.account(
+            Superstep::new("inverse_permutation", costs::INVERSE_PERMUTATION, total),
+            &out,
+        );
         out
     }
 }
@@ -447,6 +536,22 @@ mod tests {
         let flat = ps.into_inner();
         for (i, (_, sum)) in flat.iter().enumerate() {
             assert_eq!(*sum, i as u64);
+        }
+    }
+
+    #[test]
+    fn prefix_sums_cross_machine_bases_match_sequential() {
+        // Non-uniform weights across many machines exercise the base-offset
+        // phase of the parallel scan.
+        let mut cl = Cluster::new(MpcConfig::new(4000, 0.5).with_machines(13));
+        let weights: Vec<u64> = (0..4000u64).map(|i| i % 7).collect();
+        let dv = cl.distribute(weights.clone());
+        let flat = cl.prefix_sums(dv, |&w| w).into_inner();
+        let mut running = 0u64;
+        for (i, (w, sum)) in flat.into_iter().enumerate() {
+            assert_eq!(w, weights[i]);
+            assert_eq!(sum, running, "at index {i}");
+            running += w;
         }
     }
 
@@ -552,5 +657,35 @@ mod tests {
             doubled.iter().copied().sum::<u32>(),
             (0..100).map(|x| x * 2).sum()
         );
+    }
+
+    #[test]
+    fn ledger_identical_across_thread_counts() {
+        // The compute/account split must keep accounting off the worker
+        // threads: same history, same ledger, at any parallelism.
+        let run = || {
+            let mut cl = Cluster::new(MpcConfig::new(3000, 0.5));
+            let dv = cl.distribute((0..3000u32).rev().collect::<Vec<_>>());
+            let dv = cl.sort_by_key(dv, |&x| x);
+            let dv = cl.map(&dv, |&x| (x % 37, x));
+            let dv = cl.group_map(dv, |&(g, _)| g, |&g, items| vec![(g, items.len() as u32)]);
+            let mut flat = dv.into_inner();
+            flat.sort_unstable();
+            (flat, cl.ledger().clone())
+        };
+        let sequential = rayon::ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .unwrap()
+            .install(run);
+        for threads in [2, 4] {
+            let parallel = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap()
+                .install(run);
+            assert_eq!(sequential.0, parallel.0, "outputs at {threads} threads");
+            assert_eq!(sequential.1, parallel.1, "ledger at {threads} threads");
+        }
     }
 }

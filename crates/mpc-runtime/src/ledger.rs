@@ -2,8 +2,40 @@
 
 use std::collections::BTreeMap;
 
+/// The costs of one primitive invocation, assembled *beside* the parallel
+/// compute phase and applied to the [`Ledger`] in a single deterministic
+/// accounting step on the calling thread (see `cluster.rs` for the two-phase
+/// structure). Keeping the receipt separate from the ledger is what lets the
+/// per-machine compute run on worker threads without ever touching `&mut
+/// Ledger`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Superstep {
+    /// Name of the primitive being charged.
+    pub primitive: &'static str,
+    /// Rounds the primitive costs (a constant per primitive; see [`crate::costs`]).
+    pub rounds: u64,
+    /// Items moved between machines by the primitive.
+    pub communication: u64,
+}
+
+impl Superstep {
+    /// A receipt charging `rounds` rounds and `communication` moved items.
+    pub fn new(primitive: &'static str, rounds: u64, communication: u64) -> Self {
+        Self {
+            primitive,
+            rounds,
+            communication,
+        }
+    }
+
+    /// A receipt for a purely local primitive (no rounds, no communication).
+    pub fn local(primitive: &'static str) -> Self {
+        Self::new(primitive, crate::costs::LOCAL, 0)
+    }
+}
+
 /// Mutable record of everything the simulated cluster has done so far.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Ledger {
     /// Total rounds charged.
     pub rounds: u64,
@@ -22,6 +54,13 @@ pub struct Ledger {
 }
 
 impl Ledger {
+    /// Applies a completed superstep's receipt: one deterministic accounting
+    /// step covering both its round charge and its communication volume.
+    pub(crate) fn apply(&mut self, step: Superstep, phase: Option<&str>) {
+        self.charge(step.primitive, step.rounds, phase);
+        self.communicate(step.communication);
+    }
+
     /// Records `rounds` rounds of a primitive, attributing them to `phase` when set.
     pub(crate) fn charge(&mut self, primitive: &'static str, rounds: u64, phase: Option<&str>) {
         self.rounds += rounds;
@@ -78,6 +117,25 @@ mod tests {
         assert_eq!(ledger.rounds, 7);
         assert_eq!(ledger.rounds_by_phase["split"], 4);
         assert_eq!(ledger.primitive_counts["sort"], 2);
+    }
+
+    #[test]
+    fn apply_covers_rounds_and_communication() {
+        let mut ledger = Ledger::default();
+        ledger.apply(Superstep::new("sort", 3, 500), Some("split"));
+        ledger.apply(Superstep::local("map"), None);
+        assert_eq!(ledger.rounds, 3);
+        assert_eq!(ledger.communication, 500);
+        assert_eq!(ledger.rounds_by_phase["split"], 3);
+        assert_eq!(ledger.primitive_counts["map"], 1);
+
+        let mut same = Ledger::default();
+        same.apply(Superstep::new("sort", 3, 500), Some("split"));
+        same.apply(Superstep::local("map"), None);
+        assert_eq!(
+            ledger, same,
+            "ledgers with identical histories compare equal"
+        );
     }
 
     #[test]

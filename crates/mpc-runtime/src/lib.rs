@@ -10,7 +10,10 @@
 //! * [`MpcConfig`] fixes `n`, `δ`, the machine count and the per-machine space budget.
 //! * [`Cluster`] owns the round/space/communication ledger and executes *supersteps*
 //!   over [`DistVec`]s (vectors partitioned across the virtual machines). Per-machine
-//!   local work runs in parallel with rayon.
+//!   local work genuinely runs in parallel (a scoped thread pool honoring
+//!   `RAYON_NUM_THREADS`); every primitive is split into a pure parallel *compute*
+//!   phase and a single-threaded *account* phase applying a [`ledger::Superstep`]
+//!   receipt, so ledger totals and outputs are bit-identical at every thread count.
 //! * [`Cluster::sort_by_key`], [`Cluster::group_map`], [`Cluster::rank_search`],
 //!   [`Cluster::broadcast`], … implement the deterministic `O(1)`-round primitives of
 //!   Goodrich–Sitchinava–Zhang that the paper invokes (Lemmas 2.3–2.6), each charged a
@@ -32,4 +35,4 @@ pub mod ledger;
 pub use cluster::Cluster;
 pub use config::MpcConfig;
 pub use distvec::DistVec;
-pub use ledger::Ledger;
+pub use ledger::{Ledger, Superstep};

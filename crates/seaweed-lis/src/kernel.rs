@@ -23,6 +23,7 @@
 
 use monge::dominance::DominanceCounter;
 use monge::{mul, PermutationMatrix};
+use rayon::prelude::*;
 
 /// The semi-local kernel of a pair of strings (a permutation of size `m + n`).
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -88,6 +89,32 @@ impl SeaweedKernel {
             n,
             perm: PermutationMatrix::from_rows(exits),
         }
+    }
+
+    /// Parallel block combing: splits `Y` into one block per thread, combs the
+    /// blocks concurrently, and merges the block kernels left to right with the
+    /// concatenation law `P_{X, Y₁Y₂} = (P₁ ⊕ I) ⊡ (I ⊕ P₂)`.
+    ///
+    /// The result is **identical** to [`SeaweedKernel::comb`] (the composition
+    /// law is exact, not approximate — see the `composition_matches_direct_combing`
+    /// test), so this is a drop-in for large inputs. With one thread, or below
+    /// the block threshold, it falls back to direct combing.
+    pub fn comb_par(x: &[u32], y: &[u32]) -> Self {
+        /// Below this many columns per block the O(mn) combing is cheaper than
+        /// the O((m+n) log(m+n)) merge multiplications it would save.
+        const MIN_BLOCK: usize = 256;
+        let threads = rayon::current_num_threads();
+        if threads <= 1 || y.len() < 2 * MIN_BLOCK {
+            return Self::comb(x, y);
+        }
+        let block = y.len().div_ceil(threads).max(MIN_BLOCK);
+        let blocks: Vec<&[u32]> = y.chunks(block).collect();
+        let kernels: Vec<SeaweedKernel> =
+            blocks.into_par_iter().map(|b| Self::comb(x, b)).collect();
+        kernels
+            .into_iter()
+            .reduce(|acc, next| compose_horizontal(&acc, &next))
+            .expect("y has at least one block")
     }
 
     /// Length of `X`.
@@ -374,6 +401,28 @@ mod tests {
             let direct = SeaweedKernel::comb(&x, &y);
             assert_eq!(composed, direct, "x={x:?} y1={y1:?} y2={y2:?}");
         }
+    }
+
+    #[test]
+    fn comb_par_equals_direct_combing() {
+        // Above and below the block threshold, at several thread counts.
+        let mut rng = StdRng::seed_from_u64(7);
+        let x = random_string(40, 8, &mut rng);
+        let y = random_string(1500, 8, &mut rng);
+        let direct = SeaweedKernel::comb(&x, &y);
+        for threads in [1, 2, 4] {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap();
+            let par = pool.install(|| SeaweedKernel::comb_par(&x, &y));
+            assert_eq!(par, direct, "threads={threads}");
+        }
+        let tiny = random_string(30, 4, &mut rng);
+        assert_eq!(
+            SeaweedKernel::comb_par(&x, &tiny),
+            SeaweedKernel::comb(&x, &tiny)
+        );
     }
 
     #[test]

@@ -39,12 +39,13 @@ pub fn lcs_via_lis<T: Eq + Hash>(a: &[T], b: &[T]) -> usize {
 }
 
 /// LCS length through the seaweed kernel (combing): `O(|a| · |b|)` but also yields
-/// every semi-local answer.
+/// every semi-local answer. Large grids are combed block-parallel
+/// ([`SeaweedKernel::comb_par`]; identical result).
 pub fn lcs_via_kernel(a: &[u32], b: &[u32]) -> usize {
     if b.is_empty() {
         return 0;
     }
-    SeaweedKernel::comb(a, b).lcs_window(0, b.len())
+    SeaweedKernel::comb_par(a, b).lcs_window(0, b.len())
 }
 
 /// Semi-local LCS: after `O(|a| · |b|)` preprocessing, answers `LCS(a, b[l..r))` for
@@ -55,10 +56,11 @@ pub struct SemiLocalLcs {
 }
 
 impl SemiLocalLcs {
-    /// Builds the structure by combing the full alignment grid.
+    /// Builds the structure by combing the full alignment grid (block-parallel
+    /// for large grids; identical result).
     pub fn new(a: &[u32], b: &[u32]) -> Self {
         Self {
-            queries: SeaweedKernel::comb(a, b).queries(),
+            queries: SeaweedKernel::comb_par(a, b).queries(),
         }
     }
 

@@ -15,6 +15,14 @@ use crate::kernel::{compose_horizontal, SeaweedKernel, SemiLocalQueries};
 /// Size below which the kernel is computed by direct combing rather than recursion.
 const COMB_BASE: usize = 32;
 
+/// Size above which the two recursive halves are forked onto the thread pool.
+/// Below this, spawning a scoped thread costs more than the subproblem.
+/// `rayon::join` halves the caller's thread budget at every fork, so the
+/// recursion self-limits at ~`num_threads` concurrently live subtrees and
+/// continues sequentially underneath — the live thread count does not grow
+/// with `n`.
+const PAR_SPLIT: usize = 1 << 12;
+
 /// Builds the LIS kernel of a permutation of `0..n` (values must be exactly
 /// `0..n` in some order).
 pub fn lis_kernel_permutation(perm: &[u32]) -> SeaweedKernel {
@@ -43,8 +51,13 @@ pub fn lis_kernel_permutation(perm: &[u32]) -> SeaweedKernel {
     let (lo_relabelled, lo_values) = relabel(lo);
     let (hi_relabelled, hi_values) = relabel(hi);
 
-    let k_lo = lis_kernel_permutation(&lo_relabelled).inflate_rows(&lo_values, n);
-    let k_hi = lis_kernel_permutation(&hi_relabelled).inflate_rows(&hi_values, n);
+    let build_lo = || lis_kernel_permutation(&lo_relabelled).inflate_rows(&lo_values, n);
+    let build_hi = || lis_kernel_permutation(&hi_relabelled).inflate_rows(&hi_values, n);
+    let (k_lo, k_hi) = if n >= PAR_SPLIT {
+        rayon::join(build_lo, build_hi)
+    } else {
+        (build_lo(), build_hi())
+    };
     compose_horizontal(&k_lo, &k_hi)
 }
 

@@ -8,6 +8,11 @@
 //! benchmark runs one warm-up iteration, then `sample_size` timed iterations,
 //! and prints min/mean/max per iteration to stdout.
 //!
+//! Set the `CRITERION_JSON` environment variable (to anything but `0`) to emit
+//! one machine-readable JSON line per benchmark instead of the plain-text row:
+//! `{"benchmark": ..., "samples": N, "min_ns": ..., "mean_ns": ..., "max_ns": ...}`
+//! — this is what perf PRs diff.
+//!
 //! No statistical analysis, outlier rejection, or HTML reports; swap in the
 //! real criterion (one line in the workspace manifest) for publication-quality
 //! numbers.
@@ -156,6 +161,25 @@ impl BenchmarkGroup<'_> {
     pub fn finish(self) {}
 }
 
+/// Whether benchmark results should be emitted as JSON lines
+/// (`CRITERION_JSON` set to anything but `0` or the empty string).
+fn json_mode() -> bool {
+    std::env::var("CRITERION_JSON")
+        .map(|v| !v.is_empty() && v != "0")
+        .unwrap_or(false)
+}
+
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
 fn run_one<F: FnOnce(&mut Bencher)>(group: &str, sample_size: usize, id: BenchmarkId, f: F) {
     let mut bencher = Bencher {
         sample_size,
@@ -168,17 +192,35 @@ fn run_one<F: FnOnce(&mut Bencher)>(group: &str, sample_size: usize, id: Benchma
         format!("{group}/{id}")
     };
     if bencher.samples.is_empty() {
-        println!("{label:<48} (no samples)");
+        if json_mode() {
+            println!(
+                "{{\"benchmark\":\"{}\",\"samples\":0}}",
+                json_escape(&label)
+            );
+        } else {
+            println!("{label:<48} (no samples)");
+        }
         return;
     }
     let total: Duration = bencher.samples.iter().sum();
     let mean = total / bencher.samples.len() as u32;
     let min = bencher.samples.iter().min().expect("nonempty");
     let max = bencher.samples.iter().max().expect("nonempty");
-    println!(
-        "{label:<48} [{min:>12?} {mean:>12?} {max:>12?}]  ({} samples)",
-        bencher.samples.len()
-    );
+    if json_mode() {
+        println!(
+            "{{\"benchmark\":\"{}\",\"samples\":{},\"min_ns\":{},\"mean_ns\":{},\"max_ns\":{}}}",
+            json_escape(&label),
+            bencher.samples.len(),
+            min.as_nanos(),
+            mean.as_nanos(),
+            max.as_nanos()
+        );
+    } else {
+        println!(
+            "{label:<48} [{min:>12?} {mean:>12?} {max:>12?}]  ({} samples)",
+            bencher.samples.len()
+        );
+    }
 }
 
 /// Declares a function that runs a list of benchmark functions.

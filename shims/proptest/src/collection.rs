@@ -52,11 +52,39 @@ pub struct VecStrategy<S> {
     size: SizeRange,
 }
 
-impl<S: Strategy> Strategy for VecStrategy<S> {
+impl<S: Strategy> Strategy for VecStrategy<S>
+where
+    S::Value: Clone,
+{
     type Value = Vec<S::Value>;
 
     fn sample(&self, rng: &mut StdRng) -> Vec<S::Value> {
         let len = rng.gen_range(self.size.min..=self.size.max);
         (0..len).map(|_| self.element.sample(rng)).collect()
+    }
+
+    fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+        let mut out = Vec::new();
+        let len = value.len();
+        // Greedy halving of the length (respecting the strategy's minimum):
+        // drop the back half, drop the front half, then drop a single element.
+        if len > self.size.min {
+            let keep = (len / 2).max(self.size.min);
+            out.push(value[..keep].to_vec());
+            out.push(value[len - keep..].to_vec());
+            if len - 1 > keep {
+                out.push(value[..len - 1].to_vec());
+            }
+        }
+        // Element-wise shrinking at every position (the runner re-shrinks
+        // greedily, so the fan-out per round is harmless).
+        for i in 0..len {
+            for cand in self.element.shrink(&value[i]) {
+                let mut v = value.clone();
+                v[i] = cand;
+                out.push(v);
+            }
+        }
+        out
     }
 }

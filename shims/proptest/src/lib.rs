@@ -11,10 +11,13 @@
 //! * [`test_runner::ProptestConfig`] (only `cases` is honoured).
 //!
 //! Semantics differences from the real crate, deliberately accepted for an
-//! offline test environment: inputs are drawn from a **deterministic** RNG seeded
-//! from the test's name (every run explores the same cases), and failures are
-//! **not shrunk** — the failing assertion simply panics with the offending
-//! values via the standard assertion message.
+//! offline test environment: inputs are drawn from a **deterministic** RNG
+//! seeded from the test's name (every run explores the same cases), and
+//! shrinking is **greedy halving** rather than a full value tree — on failure
+//! the runner repeatedly adopts the first simpler candidate (shorter vec /
+//! smaller integer, see [`strategy::Strategy::shrink`]) that still fails,
+//! prints the minimal counterexample, and replays it so the original assertion
+//! message surfaces.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -22,6 +25,87 @@
 pub mod collection;
 pub mod strategy;
 pub mod test_runner;
+
+/// Runs one property-test case: clones the sampled values, feeds them to
+/// `body`, and reports whether it passed (a panic is the failure signal).
+///
+/// Exists as a function (rather than macro-expanded inline) so that the value
+/// tuple's type is anchored to the strategy — pattern-only inference inside a
+/// closure would otherwise be ambiguous.
+#[doc(hidden)]
+pub fn check_case<S, F>(_strategy: &S, values: &S::Value, body: F) -> bool
+where
+    S: strategy::Strategy,
+    S::Value: Clone,
+    F: FnOnce(S::Value),
+{
+    let cloned = values.clone();
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || body(cloned))).is_ok()
+}
+
+/// Greedily shrinks a failing case: keeps adopting the first candidate from
+/// [`strategy::Strategy::shrink`] that still fails (`run` returns `false`)
+/// until no candidate fails or the probe budget is exhausted. Panic output is
+/// silenced while probing candidates; the caller replays the minimal case to
+/// surface the real assertion.
+#[doc(hidden)]
+pub fn shrink_failing_case<S, F>(strategy: &S, mut failing: S::Value, run: &F) -> S::Value
+where
+    S: strategy::Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type PanicHook = Box<dyn Fn(&std::panic::PanicHookInfo<'_>) + Sync + Send + 'static>;
+    struct QuietPanics {
+        previous: Option<PanicHook>,
+        _serialize: std::sync::MutexGuard<'static, ()>,
+    }
+    impl QuietPanics {
+        fn new() -> Self {
+            // The panic hook is process-global: serialize shrinkers so that
+            // concurrent failing proptests cannot interleave their
+            // take_hook/set_hook pairs and leave the silent hook installed.
+            // (An unrelated test failing *during* a shrink window still loses
+            // its message — an accepted cost of quiet candidate probing.)
+            static SHRINK_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+            let serialize = SHRINK_LOCK
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            let previous = std::panic::take_hook();
+            std::panic::set_hook(Box::new(|_| {}));
+            Self {
+                previous: Some(previous),
+                _serialize: serialize,
+            }
+        }
+    }
+    impl Drop for QuietPanics {
+        fn drop(&mut self) {
+            if let Some(previous) = self.previous.take() {
+                std::panic::set_hook(previous);
+            }
+        }
+    }
+    let _quiet = QuietPanics::new();
+
+    let mut budget = 1024usize;
+    loop {
+        let mut improved = false;
+        for candidate in strategy.shrink(&failing) {
+            if budget == 0 {
+                return failing;
+            }
+            budget -= 1;
+            if !run(&candidate) {
+                failing = candidate;
+                improved = true;
+                break;
+            }
+        }
+        if !improved {
+            return failing;
+        }
+    }
+}
 
 /// The items most users need, mirroring `proptest::prelude`.
 pub mod prelude {
@@ -53,7 +137,8 @@ pub mod prelude {
 /// ```
 ///
 /// Each test runs `config.cases` iterations with inputs drawn from a
-/// deterministic per-test RNG. No shrinking is performed.
+/// deterministic per-test RNG. Failing cases are greedily shrunk (halving) and
+/// the minimal counterexample is printed and replayed.
 #[macro_export]
 macro_rules! proptest {
     (#![proptest_config($config:expr)] $($rest:tt)*) => {
@@ -78,13 +163,33 @@ macro_rules! __proptest_body {
         fn $name() {
             let __config = $config;
             let mut __rng = $crate::test_runner::rng_for_test(stringify!($name));
+            // The bound strategies form one tuple strategy, so component-wise
+            // shrinking comes from the tuple implementation.
+            let __strategy = ( $( $strat, )+ );
+            // Runs one case against a value tuple; true = passed. A panic is
+            // the failure signal; prop_assume! skips by returning early.
+            let __run = |__vals: &_| {
+                $crate::check_case(&__strategy, __vals, |__cloned| {
+                    let ($($pat,)+) = __cloned;
+                    $body
+                })
+            };
             for __case in 0..__config.cases {
-                let ($($pat,)+) = (
-                    $( $crate::strategy::Strategy::sample(&($strat), &mut __rng), )+
-                );
-                // prop_assume! skips a case by returning from this closure.
-                let mut __run = || $body;
-                __run();
+                let __values = $crate::strategy::Strategy::sample(&__strategy, &mut __rng);
+                if !__run(&__values) {
+                    let __minimal =
+                        $crate::shrink_failing_case(&__strategy, __values, &__run);
+                    eprintln!(
+                        "proptest: minimal failing input for `{}` after shrinking: {:?}",
+                        stringify!($name),
+                        __minimal
+                    );
+                    // Replay outside catch_unwind so the original assertion
+                    // message fails the test.
+                    let ($($pat,)+) = __minimal;
+                    $body
+                    panic!("case failed during shrinking but passed on replay");
+                }
             }
         }
         $crate::__proptest_body!(($config) $($rest)*);
@@ -120,4 +225,67 @@ macro_rules! prop_assume {
             return;
         }
     };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::strategy::Strategy;
+
+    #[test]
+    fn range_shrink_is_a_halving_ladder() {
+        assert_eq!((0u32..100).shrink(&80), vec![0, 40, 79]);
+        assert_eq!((5usize..=60).shrink(&5), Vec::<usize>::new());
+        assert_eq!((3u32..10).shrink(&4), vec![3]);
+    }
+
+    #[test]
+    fn range_shrink_survives_wide_signed_ranges() {
+        // `value - start` would overflow i8/i64 here; the i128 midpoint must not.
+        assert_eq!((-100i8..100).shrink(&99), vec![-100, -1, 98]);
+        let full = (i64::MIN..i64::MAX).shrink(&(i64::MAX - 1));
+        assert_eq!(full[0], i64::MIN);
+        assert_eq!(full[1], -1);
+        let minimal = crate::shrink_failing_case(&(-100i8..100), 99, &|&x| x < 17);
+        assert_eq!(minimal, 17);
+    }
+
+    #[test]
+    fn vec_shrink_halves_and_shrinks_elements() {
+        let strat = crate::collection::vec(0u32..10, 0..=8);
+        let candidates = strat.shrink(&vec![7, 8, 9, 6]);
+        assert!(candidates.contains(&vec![7, 8]), "drops the back half");
+        assert!(candidates.contains(&vec![9, 6]), "drops the front half");
+        assert!(candidates.contains(&vec![7, 8, 9]), "drops one element");
+        assert!(
+            candidates.contains(&vec![0, 8, 9, 6]),
+            "shrinks an element toward the range start"
+        );
+    }
+
+    #[test]
+    fn greedy_shrink_finds_minimal_integer() {
+        // Fails iff x >= 17; the ladder must converge to exactly 17.
+        let minimal = crate::shrink_failing_case(&(0u32..100), 80, &|&x| x < 17);
+        assert_eq!(minimal, 17);
+    }
+
+    #[test]
+    fn greedy_shrink_finds_minimal_vec() {
+        // Fails iff some element >= 5; minimal counterexample is [5].
+        let strat = crate::collection::vec(0u32..10, 0..=8);
+        let minimal = crate::shrink_failing_case(&strat, vec![9, 9, 9, 9], &|v: &Vec<u32>| {
+            v.iter().all(|&x| x < 5)
+        });
+        assert_eq!(minimal, vec![5]);
+    }
+
+    #[test]
+    fn tuple_shrink_is_component_wise() {
+        let strat = (0u32..100, 0usize..50);
+        let candidates = strat.shrink(&(80, 40));
+        assert!(candidates.contains(&(0, 40)));
+        assert!(candidates.contains(&(40, 40)));
+        assert!(candidates.contains(&(80, 0)));
+        assert!(candidates.contains(&(80, 20)));
+    }
 }

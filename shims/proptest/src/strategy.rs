@@ -5,14 +5,24 @@ use rand::prelude::*;
 
 /// A recipe for generating random values of type [`Strategy::Value`].
 ///
-/// Unlike real proptest there is no value tree and no shrinking: a strategy is
-/// just a sampler.
+/// Unlike real proptest there is no value tree: a strategy is a sampler plus an
+/// optional [`Strategy::shrink`] hook proposing simpler variants of a failing
+/// value (greedy halving for integer ranges and `vec`s; combinators other than
+/// tuples do not shrink).
 pub trait Strategy {
     /// The type of values this strategy produces.
     type Value;
 
     /// Draws one value from `rng`.
     fn sample(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Proposes simpler candidates for a failing `value`, most aggressive
+    /// first. The test runner greedily adopts the first candidate that still
+    /// fails and re-shrinks from there, so each call only needs a coarse
+    /// halving ladder — not an exhaustive enumeration.
+    fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
+        Vec::new()
+    }
 
     /// Maps generated values through `f`.
     fn prop_map<U, F>(self, f: F) -> Map<Self, F>
@@ -112,13 +122,43 @@ where
     }
 }
 
+/// Greedy halving ladder toward `start`: the minimum itself, then the
+/// midpoint, then the predecessor — the runner re-shrinks from whichever still
+/// fails. Implemented per integer type (the midpoint is computed in `i128`) so
+/// wide signed ranges (e.g. `i64::MIN..i64::MAX`) cannot overflow.
+trait ShrinkLadder: Sized {
+    fn ladder(start: Self, value: Self) -> Vec<Self>;
+}
+
 macro_rules! impl_range_strategy {
     ($($t:ty),* $(,)?) => {$(
+        impl ShrinkLadder for $t {
+            fn ladder(start: $t, value: $t) -> Vec<$t> {
+                let mut out = Vec::new();
+                if value > start {
+                    out.push(start);
+                    let mid = ((start as i128 + value as i128).div_euclid(2)) as $t;
+                    if mid > start && mid < value {
+                        out.push(mid);
+                    }
+                    let pred = value - 1;
+                    if pred > start && pred != mid {
+                        out.push(pred);
+                    }
+                }
+                out
+            }
+        }
+
         impl Strategy for Range<$t> {
             type Value = $t;
 
             fn sample(&self, rng: &mut StdRng) -> $t {
                 rng.gen_range(self.clone())
+            }
+
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                ShrinkLadder::ladder(self.start, *value)
             }
         }
 
@@ -128,6 +168,10 @@ macro_rules! impl_range_strategy {
             fn sample(&self, rng: &mut StdRng) -> $t {
                 rng.gen_range(self.clone())
             }
+
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                ShrinkLadder::ladder(*self.start(), *value)
+            }
         }
     )*};
 }
@@ -136,11 +180,27 @@ impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
 
 macro_rules! impl_tuple_strategy {
     ($(($($s:ident . $idx:tt),+ $(,)?)),* $(,)?) => {$(
-        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+)
+        where
+            $($s::Value: Clone),+
+        {
             type Value = ($($s::Value,)+);
 
             fn sample(&self, rng: &mut StdRng) -> Self::Value {
                 ($(self.$idx.sample(rng),)+)
+            }
+
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                // Component-wise: shrink one coordinate, keep the others.
+                let mut out = Vec::new();
+                $(
+                    for cand in self.$idx.shrink(&value.$idx) {
+                        let mut v = value.clone();
+                        v.$idx = cand;
+                        out.push(v);
+                    }
+                )+
+                out
             }
         }
     )*};

@@ -1,0 +1,511 @@
+//! Parallel iterators: splittable pipelines executed by the chunking executor.
+//!
+//! A [`ParallelIterator`] here is an *indexed, splittable* description of a
+//! computation: it knows its length, can be split at any position into two
+//! independent halves (adapters split their base and share their closure via
+//! [`Arc`]), and can drive one contiguous piece sequentially into a sink. The
+//! executor splits a pipeline into a few chunks per thread, runs the chunks on
+//! scoped threads, and reassembles the results **in chunk order** — so every
+//! consumer (`collect`, `sum`, `for_each`) observes exactly the sequential
+//! result regardless of the thread count.
+
+use std::sync::Arc;
+
+use crate::pool;
+
+/// A splittable, indexed parallel computation (the shim's merged stand-in for
+/// rayon's `ParallelIterator`/`IndexedParallelIterator` pair).
+pub trait ParallelIterator: Sized + Send {
+    /// The element type produced by this iterator.
+    type Item: Send;
+
+    /// Exact number of items this iterator will produce.
+    fn len(&self) -> usize;
+
+    /// Whether the iterator produces no items.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Splits into the first `mid` items and the rest.
+    fn split_at(self, mid: usize) -> (Self, Self);
+
+    /// Runs this piece sequentially, feeding every item to `sink` in order.
+    fn drive(self, sink: &mut dyn FnMut(Self::Item));
+
+    /// Maps every item through `f`.
+    fn map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        U: Send,
+        F: Fn(Self::Item) -> U + Send + Sync,
+    {
+        Map {
+            base: self,
+            f: Arc::new(f),
+        }
+    }
+
+    /// Pairs every item with its global index.
+    fn enumerate(self) -> Enumerate<Self> {
+        Enumerate {
+            base: self,
+            offset: 0,
+        }
+    }
+
+    /// Iterates two parallel iterators in lockstep (truncating to the shorter).
+    fn zip<B: ParallelIterator>(self, other: B) -> Zip<Self, B> {
+        Zip { a: self, b: other }
+    }
+
+    /// Copies referenced items (for `par_iter().copied()` pipelines).
+    fn copied<'a, T>(self) -> Copied<Self>
+    where
+        Self: ParallelIterator<Item = &'a T>,
+        T: Copy + Send + Sync + 'a,
+    {
+        Copied { base: self }
+    }
+
+    /// Clones referenced items.
+    fn cloned<'a, T>(self) -> Cloned<Self>
+    where
+        Self: ParallelIterator<Item = &'a T>,
+        T: Clone + Send + Sync + 'a,
+    {
+        Cloned { base: self }
+    }
+
+    /// Executes the pipeline and collects the items (in sequential order).
+    fn collect<C: FromParallelIterator<Self::Item>>(self) -> C {
+        C::from_par_iter(self)
+    }
+
+    /// Executes the pipeline and sums the items.
+    fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<Self::Item>,
+    {
+        run_to_vec(self).into_iter().sum()
+    }
+
+    /// Executes the pipeline for its side effects.
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Send + Sync,
+    {
+        let target = pool::target_pieces(self.len());
+        let pieces = split_into_pieces(self, target);
+        pool::run_pieces(pieces, |piece| piece.drive(&mut |item| f(item)));
+    }
+}
+
+/// Splits `it` into at most `target` nonempty, contiguous, near-even pieces.
+fn split_into_pieces<I: ParallelIterator>(it: I, target: usize) -> Vec<I> {
+    fn rec<I: ParallelIterator>(it: I, target: usize, out: &mut Vec<I>) {
+        let len = it.len();
+        if target <= 1 || len <= 1 {
+            out.push(it);
+            return;
+        }
+        let left_target = target / 2;
+        let right_target = target - left_target;
+        // Split the items proportionally to the piece budget of each side.
+        let mid = (len * left_target) / target;
+        let (a, b) = it.split_at(mid.clamp(1, len - 1));
+        rec(a, left_target, out);
+        rec(b, right_target, out);
+    }
+    let mut out = Vec::new();
+    rec(it, target.max(1), &mut out);
+    out
+}
+
+/// Executes a pipeline, returning all items in sequential order.
+pub(crate) fn run_to_vec<I: ParallelIterator>(it: I) -> Vec<I::Item> {
+    let len = it.len();
+    let target = pool::target_pieces(len);
+    if target <= 1 {
+        let mut out = Vec::with_capacity(len);
+        it.drive(&mut |item| out.push(item));
+        return out;
+    }
+    let pieces = split_into_pieces(it, target);
+    let chunks = pool::run_pieces(pieces, |piece| {
+        let mut out = Vec::with_capacity(piece.len());
+        piece.drive(&mut |item| out.push(item));
+        out
+    });
+    let mut out = Vec::with_capacity(len);
+    for mut chunk in chunks {
+        out.append(&mut chunk);
+    }
+    out
+}
+
+/// Conversion from a parallel iterator (the shim only targets `Vec`).
+pub trait FromParallelIterator<T: Send>: Sized {
+    /// Builds `Self` from the items of `it`, preserving sequential order.
+    fn from_par_iter<I: ParallelIterator<Item = T>>(it: I) -> Self;
+}
+
+impl<T: Send> FromParallelIterator<T> for Vec<T> {
+    fn from_par_iter<I: ParallelIterator<Item = T>>(it: I) -> Self {
+        run_to_vec(it)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Base sources
+// ---------------------------------------------------------------------------
+
+/// Parallel iterator over `&[T]` (see `ParallelSliceExt::par_iter`).
+pub struct SliceParIter<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T> SliceParIter<'a, T> {
+    pub(crate) fn new(slice: &'a [T]) -> Self {
+        Self { slice }
+    }
+}
+
+impl<'a, T: Sync> ParallelIterator for SliceParIter<'a, T> {
+    type Item = &'a T;
+
+    fn len(&self) -> usize {
+        self.slice.len()
+    }
+
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let (a, b) = self.slice.split_at(mid);
+        (Self { slice: a }, Self { slice: b })
+    }
+
+    fn drive(self, sink: &mut dyn FnMut(Self::Item)) {
+        for item in self.slice {
+            sink(item);
+        }
+    }
+}
+
+/// Parallel iterator over `&mut [T]` (see `ParallelSliceExt::par_iter_mut`).
+pub struct SliceParIterMut<'a, T> {
+    slice: &'a mut [T],
+}
+
+impl<'a, T> SliceParIterMut<'a, T> {
+    pub(crate) fn new(slice: &'a mut [T]) -> Self {
+        Self { slice }
+    }
+}
+
+impl<'a, T: Send> ParallelIterator for SliceParIterMut<'a, T> {
+    type Item = &'a mut T;
+
+    fn len(&self) -> usize {
+        self.slice.len()
+    }
+
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let (a, b) = self.slice.split_at_mut(mid);
+        (Self { slice: a }, Self { slice: b })
+    }
+
+    fn drive(self, sink: &mut dyn FnMut(Self::Item)) {
+        for item in self.slice {
+            sink(item);
+        }
+    }
+}
+
+/// Parallel iterator over an owned collection (see [`IntoParallelIterator`]).
+pub struct VecParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParallelIterator for VecParIter<T> {
+    type Item = T;
+
+    fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    fn split_at(mut self, mid: usize) -> (Self, Self) {
+        let back = self.items.split_off(mid);
+        (self, Self { items: back })
+    }
+
+    fn drive(self, sink: &mut dyn FnMut(Self::Item)) {
+        for item in self.items {
+            sink(item);
+        }
+    }
+}
+
+/// `into_par_iter()` for owned collections.
+///
+/// The blanket implementation accepts any [`IntoIterator`] (vectors, ranges,
+/// …) by materialising it into a `Vec` first — an extra O(n) move that keeps
+/// the shim small; the real rayon splits lazily.
+pub trait IntoParallelIterator: IntoIterator + Sized
+where
+    Self::Item: Send,
+{
+    /// Converts `self` into a parallel iterator.
+    fn into_par_iter(self) -> VecParIter<Self::Item> {
+        VecParIter {
+            items: self.into_iter().collect(),
+        }
+    }
+}
+
+impl<C: IntoIterator> IntoParallelIterator for C where C::Item: Send {}
+
+// ---------------------------------------------------------------------------
+// Adapters
+// ---------------------------------------------------------------------------
+
+/// See [`ParallelIterator::map`].
+pub struct Map<I, F> {
+    base: I,
+    f: Arc<F>,
+}
+
+impl<I, U, F> ParallelIterator for Map<I, F>
+where
+    I: ParallelIterator,
+    U: Send,
+    F: Fn(I::Item) -> U + Send + Sync,
+{
+    type Item = U;
+
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let (a, b) = self.base.split_at(mid);
+        (
+            Self {
+                base: a,
+                f: Arc::clone(&self.f),
+            },
+            Self { base: b, f: self.f },
+        )
+    }
+
+    fn drive(self, sink: &mut dyn FnMut(Self::Item)) {
+        let f = self.f;
+        self.base.drive(&mut |item| sink(f(item)));
+    }
+}
+
+/// See [`ParallelIterator::enumerate`].
+pub struct Enumerate<I> {
+    base: I,
+    offset: usize,
+}
+
+impl<I: ParallelIterator> ParallelIterator for Enumerate<I> {
+    type Item = (usize, I::Item);
+
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let (a, b) = self.base.split_at(mid);
+        (
+            Self {
+                base: a,
+                offset: self.offset,
+            },
+            Self {
+                base: b,
+                offset: self.offset + mid,
+            },
+        )
+    }
+
+    fn drive(self, sink: &mut dyn FnMut(Self::Item)) {
+        let mut index = self.offset;
+        self.base.drive(&mut |item| {
+            sink((index, item));
+            index += 1;
+        });
+    }
+}
+
+/// See [`ParallelIterator::zip`].
+pub struct Zip<A, B> {
+    a: A,
+    b: B,
+}
+
+impl<A: ParallelIterator, B: ParallelIterator> ParallelIterator for Zip<A, B> {
+    type Item = (A::Item, B::Item);
+
+    fn len(&self) -> usize {
+        self.a.len().min(self.b.len())
+    }
+
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        // Trim both sides to the common length first so the halves stay aligned.
+        let common = self.a.len().min(self.b.len());
+        let (a, _) = self.a.split_at(common);
+        let (b, _) = self.b.split_at(common);
+        let (a1, a2) = a.split_at(mid);
+        let (b1, b2) = b.split_at(mid);
+        (Self { a: a1, b: b1 }, Self { a: a2, b: b2 })
+    }
+
+    fn drive(self, sink: &mut dyn FnMut(Self::Item)) {
+        // Lockstep iteration needs both sides materialised; pieces are small.
+        let common = self.a.len().min(self.b.len());
+        let (a, _) = self.a.split_at(common);
+        let (b, _) = self.b.split_at(common);
+        let mut left = Vec::with_capacity(common);
+        a.drive(&mut |item| left.push(item));
+        let mut left = left.into_iter();
+        b.drive(&mut |item| {
+            if let Some(l) = left.next() {
+                sink((l, item));
+            }
+        });
+    }
+}
+
+/// See [`ParallelIterator::copied`].
+pub struct Copied<I> {
+    base: I,
+}
+
+impl<'a, T, I> ParallelIterator for Copied<I>
+where
+    T: Copy + Send + Sync + 'a,
+    I: ParallelIterator<Item = &'a T>,
+{
+    type Item = T;
+
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let (a, b) = self.base.split_at(mid);
+        (Self { base: a }, Self { base: b })
+    }
+
+    fn drive(self, sink: &mut dyn FnMut(Self::Item)) {
+        self.base.drive(&mut |item| sink(*item));
+    }
+}
+
+/// See [`ParallelIterator::cloned`].
+pub struct Cloned<I> {
+    base: I,
+}
+
+impl<'a, T, I> ParallelIterator for Cloned<I>
+where
+    T: Clone + Send + Sync + 'a,
+    I: ParallelIterator<Item = &'a T>,
+{
+    type Item = T;
+
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let (a, b) = self.base.split_at(mid);
+        (Self { base: a }, Self { base: b })
+    }
+
+    fn drive(self, sink: &mut dyn FnMut(Self::Item)) {
+        self.base.drive(&mut |item| sink(item.clone()));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pool::with_installed_num_threads;
+
+    fn at<R>(threads: usize, f: impl FnOnce() -> R) -> R {
+        with_installed_num_threads(threads, f)
+    }
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let input: Vec<u64> = (0..10_000).collect();
+        let expected: Vec<u64> = input.iter().map(|x| x * 3 + 1).collect();
+        for threads in [1, 2, 4, 8] {
+            let got: Vec<u64> = at(threads, || {
+                SliceParIter::new(&input).map(|x| x * 3 + 1).collect()
+            });
+            assert_eq!(got, expected, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn enumerate_indexes_are_global() {
+        let input = vec!["a"; 1000];
+        let got: Vec<(usize, &&str)> = at(4, || SliceParIter::new(&input).enumerate().collect());
+        for (i, (idx, _)) in got.iter().enumerate() {
+            assert_eq!(i, *idx);
+        }
+    }
+
+    #[test]
+    fn zip_stays_aligned_across_splits() {
+        let left: Vec<u32> = (0..777).collect();
+        let right: Vec<u32> = (0..777).map(|x| x * 2).collect();
+        let got: Vec<u32> = at(4, || {
+            left.clone()
+                .into_par_iter()
+                .zip(SliceParIter::new(&right).copied())
+                .map(|(a, b)| a + b)
+                .collect()
+        });
+        let expected: Vec<u32> = (0..777).map(|x| x * 3).collect();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn zip_truncates_to_shorter_side() {
+        let long: Vec<u32> = (0..100).collect();
+        let short: Vec<u32> = (0..37).collect();
+        let got: Vec<(u32, u32)> = at(4, || {
+            long.into_par_iter().zip(short.into_par_iter()).collect()
+        });
+        assert_eq!(got.len(), 37);
+        assert!(got.iter().all(|&(a, b)| a == b));
+    }
+
+    #[test]
+    fn par_iter_mut_reaches_every_item() {
+        let mut items: Vec<u32> = (0..4096).collect();
+        at(4, || {
+            SliceParIterMut::new(&mut items).for_each(|x| *x += 1);
+        });
+        assert!(items.iter().enumerate().all(|(i, &x)| x == i as u32 + 1));
+    }
+
+    #[test]
+    fn sum_matches_sequential() {
+        let input: Vec<u64> = (0..100_000).collect();
+        let expected: u64 = input.iter().sum();
+        for threads in [1, 3, 8] {
+            let got: u64 = at(threads, || SliceParIter::new(&input).copied().sum());
+            assert_eq!(got, expected);
+        }
+    }
+
+    #[test]
+    fn ranges_have_into_par_iter() {
+        let got: Vec<u32> = at(4, || (0u32..100).into_par_iter().map(|x| x + 1).collect());
+        assert_eq!(got, (1..=100).collect::<Vec<u32>>());
+    }
+}

@@ -1,0 +1,220 @@
+//! Thread-count resolution and the scoped work-chunking executor.
+//!
+//! There is no persistent worker pool: every parallel call opens a
+//! [`std::thread::scope`], spawns up to `num_threads - 1` workers (the calling
+//! thread is the remaining worker) and lets them claim contiguous work chunks
+//! from a shared atomic counter. This keeps the shim free of `unsafe` while
+//! still providing dynamic load balancing — a worker that drew a cheap chunk
+//! simply claims the next one.
+//!
+//! The effective thread count is resolved, in priority order, from
+//!
+//! 1. a scope-local override installed by [`crate::ThreadPool::install`],
+//! 2. the process-wide pool configured by
+//!    [`crate::ThreadPoolBuilder::build_global`],
+//! 3. the `RAYON_NUM_THREADS` environment variable,
+//! 4. [`std::thread::available_parallelism`].
+//!
+//! Nested parallelism *divides* the budget instead of multiplying it: each
+//! worker's scope-local count is its share of the caller's count (likewise the
+//! two sides of [`crate::join`]), so however deeply parallel regions nest, the
+//! total number of live threads stays around the configured budget. With a
+//! resolved count of 1 every entry point degrades to plain sequential
+//! execution on the calling thread — this is the mode the
+//! `RAYON_NUM_THREADS=1` CI leg pins.
+
+use std::cell::Cell;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// Process-wide thread count set by `ThreadPoolBuilder::build_global` (0 = unset).
+static GLOBAL_NUM_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// `RAYON_NUM_THREADS` / hardware default, resolved once.
+static ENV_NUM_THREADS: OnceLock<usize> = OnceLock::new();
+
+thread_local! {
+    /// Scope-local override installed by `ThreadPool::install` (0 = unset).
+    static INSTALLED_NUM_THREADS: Cell<usize> = const { Cell::new(0) };
+}
+
+/// How many chunks each worker thread is offered on average. Oversubscription
+/// smooths out heterogeneous item costs (`group_map` groups vary wildly in
+/// size) without giving up the deterministic chunk order.
+const CHUNKS_PER_THREAD: usize = 4;
+
+fn env_or_hardware_threads() -> usize {
+    *ENV_NUM_THREADS.get_or_init(|| {
+        if let Ok(raw) = std::env::var("RAYON_NUM_THREADS") {
+            if let Ok(n) = raw.trim().parse::<usize>() {
+                if n > 0 {
+                    return n;
+                }
+            }
+        }
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    })
+}
+
+/// The number of threads parallel calls on this thread will currently use.
+pub fn current_num_threads() -> usize {
+    let installed = INSTALLED_NUM_THREADS.with(Cell::get);
+    if installed > 0 {
+        return installed;
+    }
+    let global = GLOBAL_NUM_THREADS.load(Ordering::Relaxed);
+    if global > 0 {
+        return global;
+    }
+    env_or_hardware_threads()
+}
+
+/// Sets the process-wide thread count (0 keeps the env/hardware default).
+pub(crate) fn set_global_num_threads(n: usize) {
+    GLOBAL_NUM_THREADS.store(n, Ordering::Relaxed);
+}
+
+/// Runs `f` with the calling thread's override set to `n`, restoring the
+/// previous override afterwards (also on panic).
+pub(crate) fn with_installed_num_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    struct Restore(usize);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            INSTALLED_NUM_THREADS.with(|c| c.set(self.0));
+        }
+    }
+    let _restore = Restore(INSTALLED_NUM_THREADS.with(|c| c.replace(n)));
+    f()
+}
+
+/// Applies `f` to every piece, in parallel, returning the results in piece
+/// order. Panics in workers are captured and re-raised on the calling thread
+/// with their original payload (the earliest piece wins, deterministically).
+pub(crate) fn run_pieces<P, R, F>(pieces: Vec<P>, f: F) -> Vec<R>
+where
+    P: Send,
+    R: Send,
+    F: Fn(P) -> R + Sync,
+{
+    let threads = current_num_threads().min(pieces.len());
+    if threads <= 1 {
+        return pieces.into_iter().map(f).collect();
+    }
+
+    let slots: Vec<Mutex<Option<P>>> = pieces.into_iter().map(|p| Mutex::new(Some(p))).collect();
+    let results: Vec<Mutex<Option<std::thread::Result<R>>>> =
+        (0..slots.len()).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    // The caller's thread budget is *divided* among the workers (not copied):
+    // nested parallel calls inside a piece may only use this worker's share,
+    // so the total live thread count stays ~budget no matter how deeply
+    // parallel regions nest. With fewer pieces than budget, the spare threads
+    // flow into the pieces' own nested parallelism.
+    let share = (current_num_threads() / threads).max(1);
+
+    let worker = || {
+        loop {
+            let i = next.fetch_add(1, Ordering::Relaxed);
+            if i >= slots.len() {
+                break;
+            }
+            let piece = slots[i]
+                .lock()
+                .expect("piece slot poisoned")
+                .take()
+                .expect("piece claimed twice");
+            let outcome = catch_unwind(AssertUnwindSafe(|| f(piece)));
+            let failed = outcome.is_err();
+            *results[i].lock().expect("result slot poisoned") = Some(outcome);
+            if failed {
+                break; // Stop claiming work; the panic is re-raised below.
+            }
+        }
+    };
+
+    std::thread::scope(|scope| {
+        for _ in 1..threads {
+            scope.spawn(|| with_installed_num_threads(share, worker));
+        }
+        with_installed_num_threads(share, worker);
+    });
+
+    let mut out = Vec::with_capacity(results.len());
+    let mut panic: Option<Box<dyn std::any::Any + Send>> = None;
+    for slot in results {
+        match slot.into_inner().expect("result slot poisoned") {
+            Some(Ok(r)) => out.push(r),
+            Some(Err(payload)) => {
+                panic.get_or_insert(payload);
+            }
+            // A piece after the panicking one may never have been claimed.
+            None => {}
+        }
+    }
+    if let Some(payload) = panic {
+        resume_unwind(payload);
+    }
+    debug_assert_eq!(out.len(), slots.len());
+    out
+}
+
+/// Target piece count for decomposing `len` items.
+pub(crate) fn target_pieces(len: usize) -> usize {
+    let threads = current_num_threads();
+    if threads <= 1 {
+        1
+    } else {
+        (threads * CHUNKS_PER_THREAD).min(len).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pieces_keep_their_order() {
+        let pieces: Vec<usize> = (0..64).collect();
+        let out = with_installed_num_threads(4, || run_pieces(pieces, |p| p * 2));
+        assert_eq!(out, (0..64).map(|p| p * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sequential_fallback_matches() {
+        let out = with_installed_num_threads(1, || run_pieces(vec![1, 2, 3], |p| p + 1));
+        assert_eq!(out, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn install_override_nests_and_restores() {
+        let before = current_num_threads();
+        with_installed_num_threads(3, || {
+            assert_eq!(current_num_threads(), 3);
+            with_installed_num_threads(7, || assert_eq!(current_num_threads(), 7));
+            assert_eq!(current_num_threads(), 3);
+        });
+        assert_eq!(current_num_threads(), before);
+    }
+
+    #[test]
+    fn worker_panics_propagate_with_payload() {
+        let result = std::panic::catch_unwind(|| {
+            with_installed_num_threads(4, || {
+                run_pieces((0..16).collect::<Vec<usize>>(), |p| {
+                    assert!(p != 5, "piece five exploded");
+                    p
+                })
+            })
+        });
+        let payload = result.expect_err("must panic");
+        let message = payload
+            .downcast_ref::<&str>()
+            .map(|s| s.to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_default();
+        assert!(message.contains("piece five exploded"), "got: {message}");
+    }
+}

@@ -1,0 +1,120 @@
+//! Tier-1 determinism guarantee of the parallel simulator: algorithm outputs
+//! and the *entire* accounting ledger — rounds, communication, peak load,
+//! `rounds_by_phase`, `primitive_counts` — must be bit-identical at every
+//! thread count.
+//!
+//! This is the contract that makes the thread pool an execution detail: the
+//! MPC model's measured quantities may never depend on how the simulator's own
+//! local work was scheduled. The CI thread matrix (`RAYON_NUM_THREADS=1` and
+//! `=4`) runs this same suite through the env-var path; here the thread count
+//! is varied in-process through `ThreadPool::install`.
+
+use monge_mpc_suite::lis_mpc::lis_kernel_mpc;
+use monge_mpc_suite::monge::PermutationMatrix;
+use monge_mpc_suite::monge_mpc::{self, MulParams};
+use monge_mpc_suite::mpc_runtime::{Cluster, Ledger, MpcConfig};
+use monge_mpc_suite::seaweed_lis::kernel::SeaweedKernel;
+use rand::prelude::*;
+
+fn random_permutation(n: usize, seed: u64) -> PermutationMatrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut v: Vec<u32> = (0..n as u32).collect();
+    v.shuffle(&mut rng);
+    PermutationMatrix::from_rows(v)
+}
+
+fn noisy_sequence(n: usize, seed: u64) -> Vec<u32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| i as u32 + rng.gen_range(0..(n as u32 / 3).max(2)))
+        .collect()
+}
+
+/// The full end-to-end workload: one forced-recursion ⊡ multiplication and one
+/// multi-level MPC LIS, returning everything that must be invariant.
+fn workload() -> (PermutationMatrix, Ledger, usize, SeaweedKernel, Ledger) {
+    // Multiplication with several split/combine levels.
+    let n = 300;
+    let a = random_permutation(n, 0xA11CE);
+    let b = random_permutation(n, 0xB0B);
+    let mut mul_cluster = Cluster::new(MpcConfig::new(n, 0.5));
+    let params = MulParams::default()
+        .with_h(3)
+        .with_g(8)
+        .with_local_threshold(24);
+    let product = monge_mpc::mul(&mut mul_cluster, &a, &b, &params);
+    let mul_ledger = mul_cluster.ledger().clone();
+
+    // LIS with several merge levels (small space budget forces depth).
+    let seq = noisy_sequence(600, 0xC0DE);
+    let mut lis_cluster = Cluster::new(MpcConfig::new(seq.len(), 0.5).with_space(48));
+    let outcome = lis_kernel_mpc(&mut lis_cluster, &seq, &MulParams::default());
+    let lis_ledger = lis_cluster.ledger().clone();
+
+    (
+        product,
+        mul_ledger,
+        outcome.length,
+        outcome.kernel,
+        lis_ledger,
+    )
+}
+
+fn at_threads<R>(threads: usize, f: impl FnOnce() -> R) -> R {
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("shim pool construction is infallible")
+        .install(f)
+}
+
+#[test]
+fn outputs_and_ledgers_identical_across_thread_counts() {
+    let baseline = at_threads(1, workload);
+    for threads in [2, 4, 8] {
+        let run = at_threads(threads, workload);
+        assert_eq!(
+            baseline.0, run.0,
+            "⊡ product must not depend on thread count ({threads} threads)"
+        );
+        assert_eq!(
+            baseline.1, run.1,
+            "⊡ ledger (rounds, comm, loads, phases, primitive counts) diverged at {threads} threads"
+        );
+        assert_eq!(
+            baseline.2, run.2,
+            "LIS length must not depend on thread count ({threads} threads)"
+        );
+        assert_eq!(
+            baseline.3, run.3,
+            "LIS semi-local kernel diverged at {threads} threads"
+        );
+        assert_eq!(
+            baseline.4, run.4,
+            "LIS ledger diverged at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn ledger_totals_are_nontrivial() {
+    // Guard against the determinism test passing vacuously on empty ledgers.
+    let (_, mul_ledger, lis_len, _, lis_ledger) = workload();
+    assert!(mul_ledger.rounds > 0 && mul_ledger.communication > 0);
+    assert!(!mul_ledger.rounds_by_phase.is_empty());
+    assert!(!mul_ledger.primitive_counts.is_empty());
+    assert!(lis_ledger.rounds > 0 && lis_len > 0);
+}
+
+#[test]
+fn env_thread_count_matches_install_path() {
+    // Whatever RAYON_NUM_THREADS the harness set (the CI matrix pins 1 and 4),
+    // the result must equal the forced-sequential reference.
+    let ambient = workload();
+    let sequential = at_threads(1, workload);
+    assert_eq!(ambient.0, sequential.0);
+    assert_eq!(ambient.1, sequential.1);
+    assert_eq!(ambient.2, sequential.2);
+    assert_eq!(ambient.3, sequential.3);
+    assert_eq!(ambient.4, sequential.4);
+}

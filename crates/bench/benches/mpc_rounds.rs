@@ -31,7 +31,9 @@ fn bench_mpc_lis(c: &mut Criterion) {
     let seq = noisy_trend(n, (n / 4) as u32, 23);
     group.bench_function(BenchmarkId::new("delta_0.5", n), |bench| {
         bench.iter(|| {
-            let mut cluster = Cluster::new(MpcConfig::new(n, 0.5));
+            // The LIS block kernels overshoot the budget by a constant
+            // factor (see ROADMAP); record, don't panic.
+            let mut cluster = Cluster::new(MpcConfig::lenient(n, 0.5));
             lis_length_mpc(&mut cluster, &seq, &MulParams::default())
         })
     });

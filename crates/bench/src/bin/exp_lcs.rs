@@ -31,7 +31,7 @@ fn main() {
         let a = random_sequence(n, alphabet, 11 + n as u64);
         let b = random_sequence(n, alphabet, 23 + n as u64);
         let dp = lcs_length_dp(&a, &b);
-        let mut cluster = Cluster::new(MpcConfig::new(n * n, 0.5));
+        let mut cluster = Cluster::new(MpcConfig::lenient(n * n, 0.5));
         let (lcs, pairs) = lcs_mpc(&mut cluster, &a, &b, &MulParams::default());
         assert_eq!(lcs, dp);
         table.row(vec![

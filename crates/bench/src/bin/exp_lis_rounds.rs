@@ -25,7 +25,7 @@ fn main() {
     for &n in &[1usize << 11, 1 << 12, 1 << 13, 1 << 14, 1 << 15] {
         let seq = noisy_trend(n, (n / 3).max(2) as u32, 0xBEEF + n as u64);
         let expected = lis_length_patience(&seq);
-        let mut cluster = Cluster::new(MpcConfig::new(n, delta));
+        let mut cluster = Cluster::new(MpcConfig::lenient(n, delta));
         let outcome = lis_kernel_mpc(&mut cluster, &seq, &MulParams::default());
         assert_eq!(outcome.length, expected, "correctness check at n = {n}");
         let rounds = cluster.rounds();

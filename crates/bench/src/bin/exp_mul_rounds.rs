@@ -21,7 +21,9 @@ struct Measurement {
 fn measure(n: usize, delta: f64, params: &MulParams) -> Measurement {
     let a = random_permutation(n, 1000 + n as u64);
     let b = random_permutation(n, 2000 + n as u64);
-    let mut cluster = Cluster::new(MpcConfig::new(n, delta));
+    // Forced fan-outs (H = 8 at every δ) sit outside the paper's parameter
+    // regime; record any overshoot instead of panicking.
+    let mut cluster = Cluster::new(MpcConfig::lenient(n, delta));
     let start = Instant::now();
     let _ = monge_mpc::mul(&mut cluster, &a, &b, params);
     let wall_ms = start.elapsed().as_secs_f64() * 1e3;

@@ -2,9 +2,11 @@
 //! communication against the `s = Õ(n^{1−δ})` budget as δ varies, for both the
 //! multiplication (Theorem 1.1) and LIS (Theorem 1.3).
 //!
-//! The run also reports the number of supersteps in which the documented
-//! engineering deviations (reference grid phase gather, factor-H routing; see
-//! DESIGN.md §3) exceeded the budget.
+//! With the space-conformant combine (tree grid phase + pierced-interval
+//! routing) the ⊡ rows stay within the budget at every δ — zero violations —
+//! while the LIS pipeline still overshoots by the constant factor of its block
+//! kernels (see ROADMAP). The clusters run in record-only mode so the table can
+//! show the overshoots instead of panicking.
 //!
 //! Run with: `cargo run --release -p bench --bin exp_space [-- --json --threads N]`
 
@@ -31,7 +33,7 @@ fn main() {
         // Multiplication.
         let a = random_permutation(n, 1);
         let b = random_permutation(n, 2);
-        let mut cluster = Cluster::new(MpcConfig::new(n, delta));
+        let mut cluster = Cluster::new(MpcConfig::lenient(n, delta));
         let _ = monge_mpc::mul(&mut cluster, &a, &b, &MulParams::default());
         let l = cluster.ledger();
         let cfg = cluster.config();
@@ -48,7 +50,7 @@ fn main() {
 
         // LIS.
         let seq = noisy_trend(n, (n / 8) as u32, 3);
-        let mut cluster = Cluster::new(MpcConfig::new(n, delta));
+        let mut cluster = Cluster::new(MpcConfig::lenient(n, delta));
         let _ = lis_length_mpc(&mut cluster, &seq, &MulParams::default());
         let l = cluster.ledger();
         let cfg = cluster.config();
@@ -74,9 +76,9 @@ fn main() {
     println!("{}", table.render());
     println!(
         "Reading: the per-machine budget shrinks as δ grows while the machine count grows. The\n\
-         peak-load excesses and the recorded violations come from the two documented deviations\n\
-         of DESIGN.md §3 — the reference grid-phase gather (peak ≈ instance size) and the\n\
-         factor-H routing relaxation — and from the larger recursion depth at high δ, which also\n\
-         multiplies the communication volume. δ ≤ 0.4 stays within budget end to end."
+         ⊡ rows run the space-conformant combine (H-ary tree grid phase, Lemma 3.12 pierced\n\
+         routing) and must show zero violations at every δ — the CI strict leg asserts this.\n\
+         The LIS rows still overshoot by the constant factor of their block kernels (each block\n\
+         of size s combs a kernel of 2s seaweeds); making that path conformant is a ROADMAP item."
     );
 }

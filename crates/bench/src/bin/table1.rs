@@ -16,7 +16,7 @@ use std::time::Instant;
 
 fn measure(n: usize, delta: f64, params: &MulParams) -> (u64, usize, usize, f64) {
     let seq = noisy_trend(n, (n / 4).max(2) as u32, 0xC0FFEE + n as u64);
-    let mut cluster = Cluster::new(MpcConfig::new(n, delta));
+    let mut cluster = Cluster::new(MpcConfig::lenient(n, delta));
     let start = Instant::now();
     let outcome = lis_kernel_mpc(&mut cluster, &seq, params);
     let wall_ms = start.elapsed().as_secs_f64() * 1e3;
@@ -56,7 +56,7 @@ fn main() {
         "wall ms",
     ]);
     for &n in &sizes {
-        let s = MpcConfig::new(n, delta).space as f64;
+        let s = MpcConfig::lenient(n, delta).space as f64;
         let log2n = (n as f64).log2();
 
         let (rounds, levels, load, wall_ms) = measure(n, delta, &paper_params);

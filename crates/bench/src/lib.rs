@@ -15,12 +15,17 @@ use rand::prelude::*;
 /// * `--threads N` — size the global thread pool before any work runs
 ///   (equivalent to `RAYON_NUM_THREADS=N`, but overriding it), so one binary
 ///   can be re-run at several thread counts to measure wall-clock speedup.
-#[derive(Clone, Copy, Debug, Default)]
+/// * `--grid-phase tree|reference` — restrict binaries that ablate the combine's
+///   grid-phase strategy (currently `exp_ablation`) to one strategy; others
+///   ignore it.
+#[derive(Clone, Debug, Default)]
 pub struct ExpOpts {
     /// Emit JSON instead of plain-text tables.
     pub json: bool,
     /// Explicit thread-pool size (already applied by [`ExpOpts::from_env`]).
     pub threads: Option<usize>,
+    /// Grid-phase restriction (`"tree"` or `"reference"`).
+    pub grid_phase: Option<String>,
 }
 
 impl ExpOpts {
@@ -28,7 +33,7 @@ impl ExpOpts {
     /// returns the options. Unknown arguments print usage and exit.
     pub fn from_env() -> Self {
         fn usage(program: &str) -> ! {
-            eprintln!("usage: {program} [--json] [--threads N]");
+            eprintln!("usage: {program} [--json] [--threads N] [--grid-phase tree|reference]");
             std::process::exit(2);
         }
         let mut args = std::env::args();
@@ -41,12 +46,20 @@ impl ExpOpts {
                     Some(n) if n > 0 => opts.threads = Some(n),
                     _ => usage(&program),
                 },
-                other => match other.strip_prefix("--threads=") {
-                    Some(v) => match v.parse() {
+                "--grid-phase" => match args.next().as_deref() {
+                    Some(v @ ("tree" | "reference")) => opts.grid_phase = Some(v.to_string()),
+                    _ => usage(&program),
+                },
+                other => match (
+                    other.strip_prefix("--threads="),
+                    other.strip_prefix("--grid-phase="),
+                ) {
+                    (Some(v), _) => match v.parse() {
                         Ok(n) if n > 0 => opts.threads = Some(n),
                         _ => usage(&program),
                     },
-                    None => usage(&program),
+                    (_, Some(v @ ("tree" | "reference"))) => opts.grid_phase = Some(v.to_string()),
+                    _ => usage(&program),
                 },
             }
         }

@@ -78,7 +78,7 @@ mod tests {
             let a = random_string(m, alphabet, &mut rng);
             let b = random_string(n, alphabet, &mut rng);
             let total = (m * n).max(4);
-            let mut cluster = Cluster::new(MpcConfig::new(total, 0.5).with_space(32));
+            let mut cluster = Cluster::new(MpcConfig::lenient(total, 0.5).with_space(32));
             let got = lcs_length_mpc(&mut cluster, &a, &b, &MulParams::default());
             assert_eq!(got, lcs_length_dp(&a, &b), "a={a:?} b={b:?}");
         }
@@ -88,7 +88,7 @@ mod tests {
     fn reports_pair_count() {
         let a = vec![1u32; 30];
         let b = vec![1u32; 20];
-        let mut cluster = Cluster::new(MpcConfig::new(600, 0.5).with_space(64));
+        let mut cluster = Cluster::new(MpcConfig::lenient(600, 0.5).with_space(64));
         let (len, pairs) = lcs_mpc(&mut cluster, &a, &b, &MulParams::default());
         assert_eq!(len, 20);
         assert_eq!(pairs, 600);
@@ -98,7 +98,7 @@ mod tests {
     fn disjoint_alphabets() {
         let a = vec![1u32, 2, 3];
         let b = vec![4u32, 5, 6];
-        let mut cluster = Cluster::new(MpcConfig::new(16, 0.5));
+        let mut cluster = Cluster::new(MpcConfig::lenient(16, 0.5));
         assert_eq!(
             lcs_length_mpc(&mut cluster, &a, &b, &MulParams::default()),
             0
@@ -108,7 +108,7 @@ mod tests {
     #[test]
     fn identical_strings_use_linear_pairs_per_symbol_class() {
         let a: Vec<u32> = (0..60).collect();
-        let mut cluster = Cluster::new(MpcConfig::new(64, 0.5).with_space(16));
+        let mut cluster = Cluster::new(MpcConfig::lenient(64, 0.5).with_space(16));
         let (len, pairs) = lcs_mpc(&mut cluster, &a, &a, &MulParams::default());
         assert_eq!(len, 60);
         assert_eq!(pairs, 60);

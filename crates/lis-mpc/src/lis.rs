@@ -202,7 +202,7 @@ mod tests {
     use seaweed_lis::baselines::{lis_length_patience, semi_local_lis_brute};
 
     fn cluster_for(n: usize, delta: f64) -> Cluster {
-        Cluster::new(MpcConfig::new(n.max(4), delta))
+        Cluster::new(MpcConfig::lenient(n.max(4), delta))
     }
 
     #[test]
@@ -227,7 +227,7 @@ mod tests {
         for _ in 0..10 {
             let n = rng.gen_range(1..300);
             let seq: Vec<u32> = (0..n).map(|_| rng.gen_range(0..40)).collect();
-            let mut cluster = Cluster::new(MpcConfig::new(n.max(4), 0.5).with_space(24));
+            let mut cluster = Cluster::new(MpcConfig::lenient(n.max(4), 0.5).with_space(24));
             let got = lis_length_mpc(&mut cluster, &seq, &MulParams::default());
             assert_eq!(got, lis_length_patience(&seq), "{seq:?}");
         }
@@ -239,7 +239,7 @@ mod tests {
         let n = 200;
         let mut seq: Vec<u32> = (0..n as u32).collect();
         seq.shuffle(&mut rng);
-        let mut cluster = Cluster::new(MpcConfig::new(n, 0.5).with_space(32));
+        let mut cluster = Cluster::new(MpcConfig::lenient(n, 0.5).with_space(32));
         let outcome = lis_kernel_mpc(&mut cluster, &seq, &MulParams::default());
         let sequential = seaweed_lis::lis::lis_kernel(&seq);
         assert_eq!(outcome.kernel, sequential);
@@ -251,7 +251,7 @@ mod tests {
         let n = 60;
         let mut seq: Vec<u32> = (0..n as u32).collect();
         seq.shuffle(&mut rng);
-        let mut cluster = Cluster::new(MpcConfig::new(n, 0.5).with_space(16));
+        let mut cluster = Cluster::new(MpcConfig::lenient(n, 0.5).with_space(16));
         let outcome = lis_kernel_mpc(&mut cluster, &seq, &MulParams::default());
         let brute = semi_local_lis_brute(&seq);
         let queries = outcome.kernel.queries();
@@ -271,7 +271,7 @@ mod tests {
             let mut rng = StdRng::seed_from_u64(n as u64);
             let mut seq: Vec<u32> = (0..n as u32).collect();
             seq.shuffle(&mut rng);
-            let mut cluster = Cluster::new(MpcConfig::new(n, 0.5).with_space(64));
+            let mut cluster = Cluster::new(MpcConfig::lenient(n, 0.5).with_space(64));
             let outcome = lis_kernel_mpc(&mut cluster, &seq, &MulParams::default());
             assert_eq!(outcome.length, lis_length_patience(&seq));
             assert!(outcome.levels >= 2);
@@ -289,12 +289,12 @@ mod tests {
     fn sorted_and_reversed_inputs() {
         let inc: Vec<u32> = (0..500).collect();
         let dec: Vec<u32> = (0..500).rev().collect();
-        let mut cluster = Cluster::new(MpcConfig::new(500, 0.5).with_space(48));
+        let mut cluster = Cluster::new(MpcConfig::lenient(500, 0.5).with_space(48));
         assert_eq!(
             lis_length_mpc(&mut cluster, &inc, &MulParams::default()),
             500
         );
-        let mut cluster = Cluster::new(MpcConfig::new(500, 0.5).with_space(48));
+        let mut cluster = Cluster::new(MpcConfig::lenient(500, 0.5).with_space(48));
         assert_eq!(lis_length_mpc(&mut cluster, &dec, &MulParams::default()), 1);
     }
 

@@ -9,23 +9,34 @@
 //! 1. **Grid-line phase** — for every vertical grid line `c` (a multiple of `G`)
 //!    compute, for every color `q`, the demarcation row `b_q(c) = min{i : opt(i,c) > q}`
 //!    (from the pairwise crossovers `cmp(c,q,r)` of §3.2 and the breakpoint
-//!    reconstruction in `monge::multiway`).
+//!    reconstruction in `monge::multiway`). The default [`GridPhase::Tree`]
+//!    strategy descends the colored H-ary tree level by level with batched
+//!    rank-search packages ([`mpc_runtime::Cluster::rank_search_multi`]); every
+//!    machine stays within its space budget and the `O(1)` round bound follows
+//!    from the tree height `⌈log_H n⌉ ≤ 10/(1−δ)`.
 //! 2. **Classification** — a subgrid crossed by a demarcation line is *active*;
 //!    points in non-active subgrids survive iff their color equals the locally
-//!    constant `opt` (Lemma 3.10).
-//! 3. **Routing** — every active subgrid receives the union points in its row range
-//!    and column range plus its corner `F_q` vector (see DESIGN.md for how this
-//!    relates to the paper's tighter Lemma 3.12 routing).
+//!    constant `opt` (Lemma 3.10). Each active subgrid is annotated with its
+//!    *pierced interval* `[opt(r0,c0), opt(r1,c1)]` — the colors of the
+//!    demarcation lines crossing it.
+//! 3. **Routing** — with the default [`Routing::Pierced`] strategy (Lemma 3.12)
+//!    every active subgrid receives only the union points in its row/column range
+//!    whose color lies in its pierced interval, plus the corner `F` vector
+//!    restricted to that interval. Colors outside the interval shift every
+//!    in-window `F_q` by the same amount anywhere inside the subgrid, so they
+//!    cannot change an `opt` comparison and need not travel. The
+//!    [`Routing::Bands`] baseline ships the whole row/column ranges (factor-`H`
+//!    more routed volume, measured by the ledger's `comm_by_phase`).
 //! 4. **Local phase** — each active subgrid is resolved on one machine with
 //!    [`monge::multiway::process_subgrid`], emitting the interesting points of
 //!    Lemma 3.9 and the surviving union points.
 
 use crate::mul::Nonzero;
-use crate::params::GridPhase;
+use crate::params::{GridPhase, Routing};
 use monge::multiway::{
     opt_breakpoints_from_cmp, process_subgrid, ColoredPoint, MultiwayOracle, SubgridInstance,
 };
-use mpc_runtime::{Cluster, DistVec};
+use mpc_runtime::{costs, Cluster, DistVec};
 use rayon::prelude::*;
 use std::collections::HashMap;
 
@@ -64,6 +75,12 @@ struct ActiveSubgrid {
     parent: u64,
     gi: u32,
     gj: u32,
+    /// First color of the pierced interval: `opt` at the upper-left corner.
+    wlo: u16,
+    /// Last color of the pierced interval: `opt` at the lower-right corner.
+    whi: u16,
+    /// `F` at the upper-left corner, restricted to colors `wlo..=whi` (relative
+    /// values; filled by the attach step).
     base_f: Vec<u64>,
 }
 
@@ -81,7 +98,11 @@ enum Verdict {
 /// Payload routed to the final per-subgrid groups.
 #[derive(Clone, Debug)]
 enum Payload {
-    Desc(Vec<u64>),
+    /// The subgrid descriptor: first window color and the window `F` vector.
+    Desc {
+        wlo: u16,
+        base_f: Vec<u64>,
+    },
     RowPt(ColoredPoint),
     ColPt(ColoredPoint),
 }
@@ -105,19 +126,25 @@ pub fn distributed_combine(
     colored: DistVec<Colored>,
     parents: &[ParentSpec],
     grid_phase: GridPhase,
+    routing: Routing,
 ) -> DistVec<Nonzero> {
-    cluster.set_phase(Some("combine"));
     let specs: HashMap<u64, ParentSpec> = parents.iter().map(|p| (p.inst, *p)).collect();
     let specs = cluster.broadcast(specs);
 
     // Phase 1: per-line demarcation rows.
+    cluster.set_phase(Some("combine-grid"));
     let lines = match grid_phase {
-        GridPhase::Reference | GridPhase::Tree => grid_phase_reference(cluster, &colored, &specs),
+        GridPhase::Tree => grid_phase_tree(cluster, &colored, &specs),
+        GridPhase::Reference => grid_phase_reference(cluster, &colored, &specs),
     };
 
-    // Phase 2: classify points, enumerate active subgrids.
-    let (active, classified) = classify(cluster, &colored, lines, &specs);
-    let active = attach_base_f(cluster, &colored, active, &specs);
+    // Phase 2: classify points, enumerate active subgrids with their windows.
+    cluster.set_phase(Some("combine"));
+    let (active, classified) = classify(cluster, &colored, lines, &specs, routing);
+    let active = match grid_phase {
+        GridPhase::Tree => attach_base_f_tree(cluster, &colored, active, &specs),
+        GridPhase::Reference => attach_base_f_reference(cluster, &colored, active, &specs),
+    };
 
     // Points of non-active subgrids that survive (Lemma 3.10, constant case).
     let kept: DistVec<Nonzero> = {
@@ -130,18 +157,26 @@ pub fn distributed_combine(
     };
 
     // Phase 3: routing.
+    cluster.set_phase(Some("combine-route"));
     let points_only = cluster.map(&classified, |(p, _)| *p);
     let row_routed = route_band(cluster, &points_only, &active, &specs, true);
     let col_routed = route_band(cluster, &points_only, &active, &specs, false);
     let descs: DistVec<(Target, Payload)> = cluster.map(&active, |d| {
-        ((d.parent, d.gi, d.gj), Payload::Desc(d.base_f.clone()))
+        (
+            (d.parent, d.gi, d.gj),
+            Payload::Desc {
+                wlo: d.wlo,
+                base_f: d.base_f.clone(),
+            },
+        )
     });
     let all_items = {
         let rc = cluster.concat(row_routed, col_routed);
         cluster.concat(rc, descs)
     };
 
-    // Phase 4: local subgrid resolution.
+    // Phase 4: local subgrid resolution (communication-wise this is the routed
+    // volume arriving at its target machines, so it stays under "combine-route").
     let specs_local = specs.clone();
     let subgrid_out: DistVec<Nonzero> = cluster.group_map(
         all_items,
@@ -154,7 +189,9 @@ pub fn distributed_combine(
 }
 
 /// Routes every point to the active subgrids whose row band (`by_rows = true`) or
-/// column band contains it.
+/// column band contains it **and** whose pierced color interval contains the
+/// point's color. (With [`Routing::Bands`] the classification widens every window
+/// to all colors, which turns the filter into a no-op and recovers the baseline.)
 fn route_band(
     cluster: &mut Cluster,
     points: &DistVec<Colored>,
@@ -165,10 +202,10 @@ fn route_band(
     #[derive(Clone, Debug)]
     enum Item {
         Point(Colored),
-        Active(u64, u32, u32),
+        Active(u64, u32, u32, u16, u16),
     }
     let pts = cluster.map(points, |p| Item::Point(*p));
-    let ds = cluster.map(active, |d| Item::Active(d.parent, d.gi, d.gj));
+    let ds = cluster.map(active, |d| Item::Active(d.parent, d.gi, d.gj, d.wlo, d.whi));
     let both = cluster.concat(pts, ds);
 
     let key_specs = specs.clone();
@@ -179,7 +216,7 @@ fn route_band(
                 let g = key_specs[&p.inst].g as u32;
                 (p.inst, if by_rows { p.row / g } else { p.col / g })
             }
-            Item::Active(parent, gi, gj) => (*parent, if by_rows { *gi } else { *gj }),
+            Item::Active(parent, gi, gj, ..) => (*parent, if by_rows { *gi } else { *gj }),
         },
         move |_, items| {
             let mut band_points = Vec::new();
@@ -187,12 +224,17 @@ fn route_band(
             for item in items {
                 match item {
                     Item::Point(p) => band_points.push(p),
-                    Item::Active(parent, gi, gj) => band_subgrids.push((parent, gi, gj)),
+                    Item::Active(parent, gi, gj, wlo, whi) => {
+                        band_subgrids.push((parent, gi, gj, wlo, whi))
+                    }
                 }
             }
-            let mut out = Vec::with_capacity(band_points.len() * band_subgrids.len());
-            for &(parent, gi, gj) in &band_subgrids {
+            let mut out = Vec::new();
+            for &(parent, gi, gj, wlo, whi) in &band_subgrids {
                 for p in &band_points {
+                    if p.color < wlo || p.color > whi {
+                        continue; // Lemma 3.12: out-of-window colors never travel
+                    }
                     let cp = ColoredPoint {
                         row: p.row,
                         col: p.col,
@@ -212,6 +254,12 @@ fn route_band(
 }
 
 /// Builds a [`SubgridInstance`] from the routed items and resolves it locally.
+///
+/// The instance lives entirely in *window coordinates*: colors are shifted by the
+/// window start `wlo` and the `F` vector covers only the window. Inside the
+/// subgrid every `opt` value lies within the window and all out-of-window colors
+/// contribute a window-uniform shift, so the argmin comparisons — and hence the
+/// emitted nonzeros — are identical to the full-color computation.
 fn resolve_subgrid(
     parent: u64,
     gi: u32,
@@ -225,12 +273,16 @@ fn resolve_subgrid(
     let (r0, c0) = (gi * g, gj * g);
     let (r1, c1) = ((r0 + g).min(n), (c0 + g).min(n));
 
+    let mut wlo = 0u16;
     let mut base_f = Vec::new();
     let mut row_pts = Vec::new();
     let mut col_pts = Vec::new();
     for (_, payload) in items {
         match payload {
-            Payload::Desc(f) => base_f = f,
+            Payload::Desc { wlo: w, base_f: f } => {
+                wlo = w;
+                base_f = f;
+            }
             Payload::RowPt(p) => row_pts.push(p),
             Payload::ColPt(p) => col_pts.push(p),
         }
@@ -239,6 +291,17 @@ fn resolve_subgrid(
         !base_f.is_empty(),
         "active subgrid ({parent},{gi},{gj}) was routed without its descriptor"
     );
+    let window = base_f.len() as u16;
+    let shift = |p: ColoredPoint| -> ColoredPoint {
+        debug_assert!(p.color >= wlo && p.color - wlo < window);
+        ColoredPoint {
+            row: p.row,
+            col: p.col,
+            color: p.color - wlo,
+        }
+    };
+    let mut row_pts: Vec<ColoredPoint> = row_pts.into_iter().map(shift).collect();
+    let mut col_pts: Vec<ColoredPoint> = col_pts.into_iter().map(shift).collect();
     row_pts.sort_unstable_by_key(|p| p.row);
     col_pts.sort_unstable_by_key(|p| p.col);
     let inst = SubgridInstance {
@@ -246,7 +309,7 @@ fn resolve_subgrid(
         r1,
         c0,
         c1,
-        h: spec.h as u16,
+        h: base_f.len() as u16,
         base_f,
         row_pts,
         col_pts,
@@ -263,21 +326,395 @@ fn resolve_subgrid(
 }
 
 // =====================================================================================
+// Colored H-ary tree geometry
+// =====================================================================================
+
+/// Height of the colored H-ary tree over a parent's rows: the smallest `t ≥ 0`
+/// with `h^t ≥ n`. The paper's parameters give `h = n^{(1−δ)/10}`, hence a
+/// height of at most `⌈10/(1−δ)⌉ = O(1)`.
+fn tree_height(n: usize, h: usize) -> u32 {
+    let h = h.max(2);
+    let mut height = 0u32;
+    let mut cover = 1u64;
+    while cover < n as u64 {
+        cover = cover.saturating_mul(h as u64);
+        height += 1;
+    }
+    height
+}
+
+/// Size of one tree node at level `t` (level 0 is the root covering the padded
+/// domain `[0, h^height)`; level `height` nodes are single rows).
+fn level_size(n: usize, h: usize, t: u32) -> u64 {
+    let h = h.max(2) as u64;
+    let height = tree_height(n, h as usize);
+    h.saturating_pow(height.saturating_sub(t))
+}
+
+/// Decomposes the row prefix `[0, upto)` into maximal aligned tree nodes:
+/// returns `(level, node_index)` pairs whose row ranges partition the prefix.
+/// At most `(h − 1) · height` nodes. `upto` must lie strictly inside the padded
+/// domain `[0, h^height)` (subgrid corners always do: `r0 < n`).
+fn prefix_decomposition(upto: u64, n: usize, h: usize) -> Vec<(u32, u64)> {
+    let h64 = h.max(2) as u64;
+    let height = tree_height(n, h);
+    debug_assert!(upto < h64.saturating_pow(height) || height == 0);
+    let mut out = Vec::new();
+    for t in 1..=height {
+        let size = level_size(n, h, t);
+        let end = upto / size; // node index just past the prefix at this level
+        let d = end % h64; // completed siblings inside the level-(t−1) parent
+        for node in (end - d)..end {
+            out.push((t, node));
+        }
+    }
+    out
+}
+
+// =====================================================================================
 // Grid-line phase
 // =====================================================================================
+
+/// One pending crossover search `cmp(c, q, r)` descending the tree.
+#[derive(Clone, Copy, Debug)]
+struct CrossSearch {
+    parent: u64,
+    /// Grid-line column.
+    c: u32,
+    q: u16,
+    r: u16,
+    /// Start of the current tree node (invariant: `δ_{q,r}(lo, c) ≤ 0`).
+    lo: u64,
+    /// `δ_{q,r}(lo, c)`.
+    delta_lo: i64,
+}
+
+/// A fully determined crossover value.
+#[derive(Clone, Copy, Debug)]
+struct ResolvedCmp {
+    parent: u64,
+    c: u32,
+    q: u16,
+    r: u16,
+    /// `cmp(c, q, r)`: first row with `δ_{q,r} > 0`, or `n + 1`.
+    val: u32,
+}
+
+/// Work items flowing through the descent.
+#[derive(Clone, Copy, Debug)]
+enum GridWork {
+    Search(CrossSearch),
+    Resolved(ResolvedCmp),
+}
+
+/// One batched rank-search package of the descent: segment `seg` of `search`'s
+/// current node at the current level.
+#[derive(Clone, Copy, Debug)]
+struct SegPack {
+    search: CrossSearch,
+    seg: u16,
+}
+
+/// A per-line query of the precompute round.
+#[derive(Clone, Copy, Debug)]
+struct LineQuery {
+    parent: u64,
+    c: u32,
+}
+
+/// The paper's §3.2 grid-line phase: computes every `cmp(c, q, r)` by descending
+/// the colored H-ary tree level by level, entirely within the per-machine space
+/// budget.
+///
+/// Each level answers, for every pending search, one batched rank-search package
+/// per child segment over the composite key `v = color·(n+1) + col`: the δ
+/// increment contributed by a row segment `[a, b)` is exactly
+/// `#{v ∈ [q·(n+1)+c, r·(n+1)+c)}` restricted to that segment (a color-`q` point
+/// left of the line leaves `T_q`, a color-`r` point left of it leaves `T_r`, and
+/// any strictly-between color leaves the `S` sum — each contributing `+1`; all
+/// other points cancel). Prefix-summing the segments narrows the search by a
+/// factor of `h` per level, so `⌈log_h n⌉` levels — `O(1)` with the paper's
+/// fan-out — pin the crossover exactly.
+fn grid_phase_tree(
+    cluster: &mut Cluster,
+    colored: &DistVec<Colored>,
+    specs: &HashMap<u64, ParentSpec>,
+) -> DistVec<LineInfo> {
+    let mut parent_ids: Vec<u64> = specs.keys().copied().collect();
+    parent_ids.sort_unstable();
+
+    // Precompute round: per line, the color totals and the prefix counts
+    // `U_x(c)` that determine δ(0, c) and δ(n, c) for every pair.
+    let mut line_queries: Vec<LineQuery> = Vec::new();
+    for &pid in &parent_ids {
+        for c in line_columns(&specs[&pid]) {
+            line_queries.push(LineQuery { parent: pid, c });
+        }
+    }
+    // The line descriptors are O(n/G) metadata; like the input, they start out
+    // distributed (no rounds charged).
+    let queries = cluster.distribute(line_queries);
+    let specs_v = specs.clone();
+    let specs_q = specs.clone();
+    let answered = cluster.rank_search_multi(
+        colored,
+        move |p| {
+            let w = specs_v[&p.inst].n as u64 + 1;
+            (p.inst, p.color as u64 * w + p.col as u64)
+        },
+        queries,
+        move |q| {
+            let spec = specs_q[&q.parent];
+            let w = spec.n as u64 + 1;
+            let mut thresholds = Vec::with_capacity(2 * spec.h + 1);
+            for x in 0..spec.h as u64 {
+                thresholds.push(x * w);
+                thresholds.push(x * w + q.c as u64);
+            }
+            thresholds.push(spec.h as u64 * w);
+            (q.parent, thresholds)
+        },
+    );
+    let specs_init = specs.clone();
+    let work: DistVec<GridWork> = cluster.flat_map(&answered, move |(lq, counts)| {
+        let spec = specs_init[&lq.parent];
+        let (h, n) = (spec.h, spec.n as u32);
+        // counts layout: [0·W, 0·W+c, 1·W, 1·W+c, …, (h−1)·W, (h−1)·W+c, h·W].
+        let p_at = |x: usize| counts[2 * x] as i64; // Σ_{y<x} n_y
+        let u_at = |x: usize| (counts[2 * x + 1] - counts[2 * x]) as i64; // U_x(c)
+        let mut pu = vec![0i64; h + 1]; // prefix sums of U
+        for x in 0..h {
+            pu[x + 1] = pu[x] + u_at(x);
+        }
+        let mut out = Vec::with_capacity(h * (h - 1) / 2);
+        for q in 0..h {
+            for r in q + 1..h {
+                // δ(n, c) = Σ_{x ∈ (q, r]} U_x(c);  δ(0, c) adds U_q − U_r − Σ_{[q,r)} n_x.
+                let delta_n = pu[r + 1] - pu[q + 1];
+                let delta_0 = u_at(q) - u_at(r) - (p_at(r) - p_at(q)) + delta_n;
+                let item = if delta_n <= 0 {
+                    GridWork::Resolved(ResolvedCmp {
+                        parent: lq.parent,
+                        c: lq.c,
+                        q: q as u16,
+                        r: r as u16,
+                        val: n + 1,
+                    })
+                } else if delta_0 > 0 {
+                    GridWork::Resolved(ResolvedCmp {
+                        parent: lq.parent,
+                        c: lq.c,
+                        q: q as u16,
+                        r: r as u16,
+                        val: 0,
+                    })
+                } else {
+                    GridWork::Search(CrossSearch {
+                        parent: lq.parent,
+                        c: lq.c,
+                        q: q as u16,
+                        r: r as u16,
+                        lo: 0,
+                        delta_lo: delta_0,
+                    })
+                };
+                out.push(item);
+            }
+        }
+        out
+    });
+    let mut resolved = {
+        let r = cluster.filter(work.clone(), |w| matches!(w, GridWork::Resolved(_)));
+        cluster.map(&r, |w| match w {
+            GridWork::Resolved(rc) => *rc,
+            GridWork::Search(_) => unreachable!(),
+        })
+    };
+    let mut searches = {
+        let s = cluster.filter(work, |w| matches!(w, GridWork::Search(_)));
+        cluster.map(&s, |w| match w {
+            GridWork::Search(s) => *s,
+            GridWork::Resolved(_) => unreachable!(),
+        })
+    };
+
+    // Descent: one batched package exchange plus one regroup per tree level.
+    // The loop always runs the full height so that the superstep schedule is a
+    // function of the parent specs alone (mirrored by the reference strategy).
+    let max_height = grid_tree_levels(specs);
+    for t in 1..=max_height {
+        // Per-parent geometry of this level, hoisted out of the per-point
+        // closures: (node size at level min(t, height), composite stride W).
+        let geom: HashMap<u64, (u64, u64)> = specs
+            .iter()
+            .map(|(&pid, spec)| {
+                let size = level_size(spec.n, spec.h, t.min(tree_height(spec.n, spec.h)));
+                (pid, (size, spec.n as u64 + 1))
+            })
+            .collect();
+
+        let specs_p = specs.clone();
+        let geom_p = geom.clone();
+        let packages: DistVec<SegPack> = cluster.flat_map(&searches, move |s| {
+            let spec = specs_p[&s.parent];
+            let (size, _) = geom_p[&s.parent];
+            // Segments entirely inside the padded tail [n, h^height) hold no
+            // points and cannot contain the crossover; skip their packages.
+            (0..spec.h as u16)
+                .filter(|&seg| s.lo + seg as u64 * size < spec.n as u64)
+                .map(|seg| SegPack { search: *s, seg })
+                .collect()
+        });
+        let geom_v = geom.clone();
+        let geom_k = geom.clone();
+        let answered = cluster.rank_search_multi(
+            colored,
+            move |p| {
+                let (size, w) = geom_v[&p.inst];
+                (
+                    (p.inst, p.row as u64 / size),
+                    p.color as u64 * w + p.col as u64,
+                )
+            },
+            packages,
+            move |pk| {
+                let s = pk.search;
+                let (size, w) = geom_k[&s.parent];
+                let node = s.lo / size + pk.seg as u64;
+                (
+                    (s.parent, node),
+                    vec![s.q as u64 * w + s.c as u64, s.r as u64 * w + s.c as u64],
+                )
+            },
+        );
+        let geom_g = geom.clone();
+        let stepped: DistVec<GridWork> = cluster.group_map(
+            answered,
+            |(pk, _)| {
+                let s = pk.search;
+                (s.parent, s.c, s.q, s.r)
+            },
+            move |_, mut packs| {
+                packs.sort_unstable_by_key(|(pk, _)| pk.seg);
+                let s = packs[0].0.search;
+                let (size, _) = geom_g[&s.parent];
+                // δ at successive segment boundaries; descend into the first
+                // segment whose right boundary turns positive.
+                let mut delta = s.delta_lo;
+                let mut chosen = None;
+                for (pk, counts) in &packs {
+                    let contrib = counts[1] as i64 - counts[0] as i64;
+                    if delta + contrib > 0 {
+                        chosen = Some((pk.seg as u64, delta));
+                        break;
+                    }
+                    delta += contrib;
+                }
+                let (seg, delta_at) =
+                    chosen.expect("δ must turn positive within the node (invariant)");
+                let lo = s.lo + seg * size;
+                if size == 1 {
+                    vec![GridWork::Resolved(ResolvedCmp {
+                        parent: s.parent,
+                        c: s.c,
+                        q: s.q,
+                        r: s.r,
+                        val: (lo + 1) as u32,
+                    })]
+                } else {
+                    vec![GridWork::Search(CrossSearch {
+                        lo,
+                        delta_lo: delta_at,
+                        ..s
+                    })]
+                }
+            },
+        );
+        let newly = {
+            let r = cluster.filter(stepped.clone(), |w| matches!(w, GridWork::Resolved(_)));
+            cluster.map(&r, |w| match w {
+                GridWork::Resolved(rc) => *rc,
+                GridWork::Search(_) => unreachable!(),
+            })
+        };
+        resolved = cluster.concat(resolved, newly);
+        searches = {
+            let s = cluster.filter(stepped, |w| matches!(w, GridWork::Search(_)));
+            cluster.map(&s, |w| match w {
+                GridWork::Search(s) => *s,
+                GridWork::Resolved(_) => unreachable!(),
+            })
+        };
+    }
+    debug_assert!(searches.is_empty(), "all searches resolve at the leaves");
+
+    // Assemble per-line demarcation rows from the crossover values.
+    let specs_l = specs.clone();
+    cluster.group_map(
+        resolved,
+        |rc| (rc.parent, rc.c),
+        move |&(parent, _), items| {
+            let spec = specs_l[&parent];
+            let (h, n) = (spec.h, spec.n as u32);
+            let mut cmp = vec![vec![0u32; h]; h];
+            debug_assert_eq!(items.len(), h * (h - 1) / 2);
+            let c = items[0].c;
+            for rc in items {
+                cmp[rc.q as usize][rc.r as usize] = rc.val;
+            }
+            let breakpoints = opt_breakpoints_from_cmp(&cmp, h, n);
+            vec![LineInfo {
+                parent,
+                c,
+                b: b_vector(&breakpoints, h, n),
+            }]
+        },
+    )
+}
+
+/// The number of descent levels the tree grid phase performs for these parents
+/// (also the schedule mirrored by [`grid_phase_reference`]).
+fn grid_tree_levels(specs: &HashMap<u64, ParentSpec>) -> u32 {
+    specs
+        .values()
+        .map(|s| tree_height(s.n, s.h))
+        .max()
+        .unwrap_or(0)
+}
+
+/// The grid-line columns of a parent: every multiple of `G`, plus `n`.
+fn line_columns(spec: &ParentSpec) -> Vec<u32> {
+    let n = spec.n as u32;
+    let mut columns = Vec::new();
+    let mut c = 0u32;
+    loop {
+        columns.push(c);
+        if c >= n {
+            break;
+        }
+        c = (c + spec.g as u32).min(n);
+    }
+    columns
+}
 
 /// Reference grid-line phase: gathers each parent's union permutation on one machine
 /// and computes the per-line demarcation rows with the sequential oracle.
 ///
 /// The gather ignores the per-machine space budget for parents larger than `s`
-/// (recorded by the ledger as violations); the paper's §3.2 H-ary tree descent
-/// computes exactly the same `cmp(c, q, r)` values within the budget with the same
-/// `O(1)` round structure. See DESIGN.md §3 for the substitution note.
+/// (recorded by the ledger as violations — run it on a lenient cluster); the
+/// tree strategy computes exactly the same `cmp(c, q, r)` values within the
+/// budget. To keep the two strategies round-identical (the documented
+/// substitution), this path mirrors the tree descent's superstep schedule.
 fn grid_phase_reference(
     cluster: &mut Cluster,
     colored: &DistVec<Colored>,
     specs: &HashMap<u64, ParentSpec>,
 ) -> DistVec<LineInfo> {
+    let levels = grid_tree_levels(specs) as u64;
+    cluster.charge_rounds(
+        "grid_tree_mirror",
+        costs::RANK_SEARCH_MULTI + levels * (costs::RANK_SEARCH_MULTI + costs::GROUP_MAP),
+    );
     let specs = specs.clone();
     cluster.group_map(
         colored.clone(),
@@ -307,16 +744,7 @@ fn grid_phase_reference(
 fn grid_lines(oracle: &MultiwayOracle, spec: ParentSpec) -> Vec<LineInfo> {
     let n = spec.n as u32;
     let h = spec.h;
-    let mut columns = Vec::new();
-    let mut c = 0u32;
-    loop {
-        columns.push(c);
-        if c >= n {
-            break;
-        }
-        c = (c + spec.g as u32).min(n);
-    }
-    columns
+    line_columns(&spec)
         .into_par_iter()
         .map(|c| {
             let mut cmp = vec![vec![0u32; h]; h];
@@ -354,12 +782,14 @@ fn b_vector(breakpoints: &[(u32, u16)], h: usize, n: u32) -> Vec<u32> {
     b
 }
 
-/// Classifies points and enumerates active subgrids from the per-line information.
+/// Classifies points and enumerates active subgrids from the per-line information,
+/// annotating every active subgrid with its pierced color interval.
 fn classify(
     cluster: &mut Cluster,
     colored: &DistVec<Colored>,
     lines: DistVec<LineInfo>,
     specs: &HashMap<u64, ParentSpec>,
+    routing: Routing,
 ) -> (DistVec<ActiveSubgrid>, DistVec<(Colored, Verdict)>) {
     #[derive(Clone, Debug)]
     enum BandItem {
@@ -446,11 +876,24 @@ fn classify(
 
             let mut out = Vec::new();
             for &gi in &active_rows {
+                // The pierced interval: opt at the subgrid's corners. Exactly the
+                // lines wlo..whi cross this subgrid.
+                let (wlo, whi) = match routing {
+                    Routing::Pierced => {
+                        let r_lo = gi * g;
+                        let r_hi = (r_lo + g).min(n);
+                        (opt_on(&left, r_lo), opt_on(&right, r_hi))
+                    }
+                    Routing::Bands => (0, (h - 1) as u16),
+                };
+                debug_assert!(wlo < whi || routing == Routing::Bands);
                 out.push(BandOut::Active(ActiveSubgrid {
                     parent,
                     gi,
                     gj: band,
-                    base_f: Vec::new(), // filled by `attach_base_f`
+                    wlo,
+                    whi,
+                    base_f: Vec::new(), // filled by the attach step
                 }));
             }
             for p in points {
@@ -481,15 +924,180 @@ fn classify(
     (active, classified)
 }
 
-/// Attaches the corner `F_q` vectors to the active subgrid descriptors.
-/// (`process_subgrid` only uses their pairwise differences, but the absolute values
-/// are cheap to provide and simplify testing.)
-fn attach_base_f(
+// =====================================================================================
+// Corner F vectors
+// =====================================================================================
+
+/// One batched rank-search package of the corner-`F` computation: tree node
+/// `(level, node)` queried on behalf of one active subgrid.
+#[derive(Clone, Debug)]
+struct CornerPack {
+    parent: u64,
+    gi: u32,
+    gj: u32,
+    wlo: u16,
+    whi: u16,
+    level: u32,
+    node: u64,
+}
+
+/// Space-conformant corner `F` vectors: evaluates, for every active subgrid, the
+/// window-relative `F_y(r0, c0)` (colors `y ∈ [wlo, whi]`, anchored at
+/// `F_{wlo} = 0`) from one batched rank-search over the colored tree levels.
+///
+/// The decomposition is `F_y(r0, c0) = F_y(0, c0) − Σ_{x<y} |{x, row < r0}| −
+/// |{y, row < r0, col < c0}|`, whose window-relative differences need only
+/// per-window-color totals `n_y`, prefix counts `U_y(c0)`, and the two row-prefix
+/// counts. The row prefix `[0, r0)` splits into `O(h · height)` aligned tree
+/// nodes, each answered by one package.
+fn attach_base_f_tree(
     cluster: &mut Cluster,
     colored: &DistVec<Colored>,
     active: DistVec<ActiveSubgrid>,
     specs: &HashMap<u64, ParentSpec>,
 ) -> DistVec<ActiveSubgrid> {
+    // Every point participates once per tree level (level 0 is the whole row
+    // range, answering the global counts): Õ(1) copies — the tree's space cost.
+    // Per-parent geometry hoisted out of the per-point closure: the composite
+    // stride W and the node size of every level.
+    let geom: HashMap<u64, (u64, Vec<u64>)> = specs
+        .iter()
+        .map(|(&pid, spec)| {
+            let sizes: Vec<u64> = (0..=tree_height(spec.n, spec.h))
+                .map(|t| level_size(spec.n, spec.h, t))
+                .collect();
+            (pid, (spec.n as u64 + 1, sizes))
+        })
+        .collect();
+    let geom_v = geom.clone();
+    let leveled: DistVec<((u64, u32, u64), u64)> = cluster.flat_map(colored, move |p| {
+        let (w, sizes) = &geom_v[&p.inst];
+        let v = p.color as u64 * w + p.col as u64;
+        sizes
+            .iter()
+            .enumerate()
+            .map(|(t, &size)| ((p.inst, t as u32, p.row as u64 / size), v))
+            .collect()
+    });
+
+    let specs_p = specs.clone();
+    let packages: DistVec<CornerPack> = cluster.flat_map(&active, move |d| {
+        let spec = specs_p[&d.parent];
+        let r0 = (d.gi * spec.g as u32) as u64;
+        let mut out = vec![CornerPack {
+            parent: d.parent,
+            gi: d.gi,
+            gj: d.gj,
+            wlo: d.wlo,
+            whi: d.whi,
+            level: 0,
+            node: 0,
+        }];
+        for (level, node) in prefix_decomposition(r0, spec.n, spec.h) {
+            out.push(CornerPack {
+                parent: d.parent,
+                gi: d.gi,
+                gj: d.gj,
+                wlo: d.wlo,
+                whi: d.whi,
+                level,
+                node,
+            });
+        }
+        out
+    });
+
+    let specs_q = specs.clone();
+    let answered = cluster.rank_search_multi(
+        &leveled,
+        |(key, v)| (*key, *v),
+        packages,
+        move |pk| {
+            let spec = specs_q[&pk.parent];
+            let w = spec.n as u64 + 1;
+            let c0 = (pk.gj * spec.g as u32) as u64;
+            // Layout per window color y: [y·W, y·W + c0], plus the closing
+            // boundary (whi+1)·W for the color totals.
+            let mut thresholds = Vec::with_capacity(2 * (pk.whi - pk.wlo) as usize + 3);
+            for y in pk.wlo as u64..=pk.whi as u64 {
+                thresholds.push(y * w);
+                thresholds.push(y * w + c0);
+            }
+            thresholds.push((pk.whi as u64 + 1) * w);
+            ((pk.parent, pk.level, pk.node), thresholds)
+        },
+    );
+
+    cluster.group_map(
+        answered,
+        |(pk, _)| (pk.parent, pk.gi, pk.gj),
+        |&(parent, gi, gj), packs| {
+            let (wlo, whi) = {
+                let pk = &packs[0].0;
+                (pk.wlo, pk.whi)
+            };
+            let k = (whi - wlo) as usize;
+            // Per window index i (color y = wlo + i): global color-prefix totals
+            // and U_y(c0), plus row-prefix counts summed over the decomposition.
+            let mut glob: Option<Vec<u64>> = None;
+            let mut row_lt = vec![0i64; k + 2]; // Σ decomposition: #{color < y, row < r0} at boundaries
+            let mut b_cnt = vec![0i64; k + 1]; // #{color = y, row < r0, col < c0}
+            for (pk, counts) in &packs {
+                if pk.level == 0 {
+                    glob = Some(counts.clone());
+                } else {
+                    for i in 0..=k {
+                        row_lt[i] += counts[2 * i] as i64;
+                        b_cnt[i] += counts[2 * i + 1] as i64 - counts[2 * i] as i64;
+                    }
+                    row_lt[k + 1] += counts[2 * k + 2] as i64;
+                }
+            }
+            let glob = glob.expect("level-0 package present");
+            let n_y = |i: usize| -> i64 {
+                let hi = if i == k {
+                    glob[2 * k + 2]
+                } else {
+                    glob[2 * (i + 1)]
+                };
+                hi as i64 - glob[2 * i] as i64
+            };
+            let u_y = |i: usize| -> i64 { glob[2 * i + 1] as i64 - glob[2 * i] as i64 };
+            // #{color = y, row < r0} from the decomposition's color-prefix counts.
+            let r_y = |i: usize| -> i64 { row_lt[i + 1] - row_lt[i] };
+
+            // Window-relative F at the corner:
+            // F_{y+1} − F_y = n_y − U_y(c0) − #{y, row<r0} − B_{y+1} + B_y.
+            // Only differences matter downstream (the local phase is pure argmin
+            // comparison), so anchor the vector at its minimum to keep it in u64.
+            let mut f = vec![0i64; k + 1];
+            for i in 0..k {
+                f[i + 1] = f[i] + n_y(i) - u_y(i) - r_y(i) - b_cnt[i + 1] + b_cnt[i];
+            }
+            let anchor = f.iter().copied().min().unwrap_or(0);
+            vec![ActiveSubgrid {
+                parent,
+                gi,
+                gj,
+                wlo,
+                whi,
+                base_f: f.into_iter().map(|v| (v - anchor) as u64).collect(),
+            }]
+        },
+    )
+}
+
+/// Reference attach step: gathers each parent's points, builds the sequential
+/// oracle, and reads the window slice of `F` at every active corner. Ignores the
+/// space budget exactly like [`grid_phase_reference`] (and mirrors the
+/// conformant path's superstep schedule).
+fn attach_base_f_reference(
+    cluster: &mut Cluster,
+    colored: &DistVec<Colored>,
+    active: DistVec<ActiveSubgrid>,
+    specs: &HashMap<u64, ParentSpec>,
+) -> DistVec<ActiveSubgrid> {
+    cluster.charge_rounds("corner_f_tree_mirror", costs::RANK_SEARCH_MULTI);
     #[derive(Clone, Debug)]
     enum Item {
         Point(Colored),
@@ -524,10 +1132,61 @@ fn attach_base_f(
                 .into_iter()
                 .map(|mut d| {
                     let g = spec.g as u32;
-                    d.base_f = oracle.f_vec(d.gi * g, d.gj * g);
+                    let f = oracle.f_vec(d.gi * g, d.gj * g);
+                    d.base_f = f[d.wlo as usize..=d.whi as usize].to_vec();
                     d
                 })
                 .collect()
         },
     )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tree_height_covers_the_domain() {
+        assert_eq!(tree_height(1, 2), 0);
+        assert_eq!(tree_height(2, 2), 1);
+        assert_eq!(tree_height(3, 2), 2);
+        assert_eq!(tree_height(8, 2), 3);
+        assert_eq!(tree_height(9, 2), 4);
+        assert_eq!(tree_height(100, 10), 2);
+        assert_eq!(tree_height(101, 10), 3);
+        for (n, h) in [(5usize, 2usize), (1000, 3), (4096, 16), (77, 9)] {
+            let t = tree_height(n, h);
+            assert!((h as u64).pow(t) >= n as u64);
+            assert!(t == 0 || (h as u64).pow(t - 1) < n as u64);
+            assert_eq!(level_size(n, h, t), 1, "leaves are single rows");
+        }
+    }
+
+    #[test]
+    fn prefix_decomposition_partitions_the_prefix() {
+        for (n, h) in [(37usize, 2usize), (100, 3), (64, 4), (1000, 10)] {
+            for upto in [0u64, 1, 5, (n / 2) as u64, (n - 1) as u64] {
+                let nodes = prefix_decomposition(upto, n, h);
+                // The ranges must be disjoint and cover exactly [0, upto).
+                let mut covered: Vec<(u64, u64)> = nodes
+                    .iter()
+                    .map(|&(t, node)| {
+                        let size = level_size(n, h, t);
+                        (node * size, (node + 1) * size)
+                    })
+                    .collect();
+                covered.sort_unstable();
+                let mut cursor = 0u64;
+                for (start, end) in covered {
+                    assert_eq!(
+                        start, cursor,
+                        "gap in decomposition of [0,{upto}) n={n} h={h}"
+                    );
+                    cursor = end;
+                }
+                assert_eq!(cursor, upto, "decomposition must end at {upto}");
+                assert!(nodes.len() <= h * tree_height(n, h) as usize);
+            }
+        }
+    }
 }

@@ -12,10 +12,28 @@ pub enum GridPhase {
     Tree,
     /// Reference implementation: each instance's union permutation is gathered on one
     /// machine and the grid quantities are computed there with the sequential oracle.
-    /// Produces identical results and identical downstream routing, but the gather
-    /// step ignores the space budget (violations are recorded in the ledger).
-    /// Used for differential testing and ablation.
+    /// Produces identical results, identical downstream routing and identical round
+    /// charges (it mirrors the tree descent's superstep schedule), but the gather
+    /// step ignores the space budget (violations are recorded in the ledger), so it
+    /// must run on a [`mpc_runtime::MpcConfig::lenient`] cluster. Used as the
+    /// differential-testing oracle and the ablation baseline.
     Reference,
+}
+
+/// How the §3.3 routing delivers union points to the active subgrids.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Routing {
+    /// Lemma 3.12 pierced intervals: an active subgrid receives only the points
+    /// whose color lies in `[opt(r0,c0), opt(r1,c1)]` — the interval of demarcation
+    /// lines piercing it. Colors outside the interval shift every candidate `F_q`
+    /// uniformly inside the subgrid and cannot change any `opt` comparison, so the
+    /// output is identical while each point travels to `O(1)` subgrids instead of
+    /// every active subgrid in its row/column bands.
+    Pierced,
+    /// Baseline: ship the whole row/column point ranges to every active subgrid
+    /// (a factor-`H` relaxation in routed volume). Kept for ablation; measured by
+    /// the ledger's `comm_by_phase["combine-route"]`.
+    Bands,
 }
 
 /// Parameters of [`crate::mul_batch`].
@@ -27,10 +45,15 @@ pub struct MulParams {
     /// Grid spacing `G` of §3.2/3.3. `0` selects the paper's `n^{1−δ}`.
     pub g: usize,
     /// Instances of size at most this are gathered onto one machine and multiplied
-    /// with the sequential steady-ant kernel. `0` selects the machine space budget.
+    /// with the sequential steady-ant kernel. `0` selects a quarter of the machine
+    /// space budget (a gathered instance stores both operands — `2n` items — and
+    /// the greedy packing may co-locate instances, so `s/4` keeps the gather
+    /// within the budget on strict clusters).
     pub local_threshold: usize,
     /// Strategy for the grid-line phase of the combine.
     pub grid_phase: GridPhase,
+    /// Strategy for the §3.3 routing of the combine.
+    pub routing: Routing,
 }
 
 impl Default for MulParams {
@@ -40,6 +63,7 @@ impl Default for MulParams {
             g: 0,
             local_threshold: 0,
             grid_phase: GridPhase::Tree,
+            routing: Routing::Pierced,
         }
     }
 }
@@ -49,8 +73,11 @@ impl MulParams {
     /// cluster configuration and the instance size `n`.
     pub fn resolved(&self, cfg: &MpcConfig, n: usize) -> ResolvedParams {
         let nf = (n.max(2)) as f64;
+        // The paper's fan-out must be honored exactly: the tree descent's round
+        // bound rests on the height `log_H n ≤ 10/(1−δ)`, so `H = n^{(1−δ)/10}`
+        // is only floored at the binary split, never capped.
         let h = if self.h == 0 {
-            (nf.powf((1.0 - cfg.delta) / 10.0).round() as usize).clamp(2, 64)
+            (nf.powf((1.0 - cfg.delta) / 10.0).round() as usize).max(2)
         } else {
             self.h.max(2)
         };
@@ -60,7 +87,7 @@ impl MulParams {
             self.g.max(2)
         };
         let local_threshold = if self.local_threshold == 0 {
-            cfg.space.max(4)
+            (cfg.space / 4).max(4)
         } else {
             self.local_threshold
         };
@@ -69,6 +96,7 @@ impl MulParams {
             g,
             local_threshold,
             grid_phase: self.grid_phase,
+            routing: self.routing,
         }
     }
 
@@ -104,6 +132,12 @@ impl MulParams {
         self.grid_phase = grid_phase;
         self
     }
+
+    /// Selects the routing strategy.
+    pub fn with_routing(mut self, routing: Routing) -> Self {
+        self.routing = routing;
+        self
+    }
 }
 
 /// Fully resolved parameters for one instance size.
@@ -117,6 +151,8 @@ pub struct ResolvedParams {
     pub local_threshold: usize,
     /// Grid-phase strategy.
     pub grid_phase: GridPhase,
+    /// Routing strategy.
+    pub routing: Routing,
 }
 
 #[cfg(test)]
@@ -129,7 +165,7 @@ mod tests {
         let p = MulParams::default().resolved(&cfg, 1 << 20);
         assert!(p.h >= 2);
         assert_eq!(p.g, 1 << 10);
-        assert_eq!(p.local_threshold, cfg.space);
+        assert_eq!(p.local_threshold, cfg.space / 4);
 
         let cfg2 = MpcConfig::new(1 << 20, 0.75);
         let p2 = MulParams::default().resolved(&cfg2, 1 << 20);
@@ -137,6 +173,19 @@ mod tests {
             p2.g < p.g,
             "larger δ ⇒ smaller per-machine space ⇒ smaller G"
         );
+    }
+
+    #[test]
+    fn fan_out_is_never_capped() {
+        // The tree descent's O(1) height rests on H = n^{(1−δ)/10} being honored,
+        // so the resolution must not clamp it from above; at n near usize::MAX and
+        // small δ the paper's H exceeds the old ceiling of 64.
+        let n = usize::MAX;
+        let cfg = MpcConfig::new(n, 0.05);
+        let p = MulParams::default().resolved(&cfg, n);
+        let expected = ((n as f64).powf((1.0 - 0.05) / 10.0)).round() as usize;
+        assert_eq!(p.h, expected.max(2));
+        assert!(p.h > 64, "paper fan-out {} must not be capped at 64", p.h);
     }
 
     #[test]

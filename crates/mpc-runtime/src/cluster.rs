@@ -214,7 +214,9 @@ impl Cluster {
     }
 
     fn observe<T>(&mut self, dv: &DistVec<T>, context: &'static str) {
-        let violated = self.ledger.observe_loads(dv.loads(), self.config.space);
+        let violated =
+            self.ledger
+                .observe_loads(dv.loads(), self.config.space, self.phase.as_deref());
         if violated && self.config.enforce_space {
             panic!(
                 "MPC space budget exceeded in `{context}`: max load {} > s = {} \
@@ -366,6 +368,68 @@ impl Cluster {
         out
     }
 
+    /// Batched rank-search packages (the §3.2 H-ary tree-descent primitive): like
+    /// [`Cluster::rank_search`], but every query is a *package* of several
+    /// thresholds against one group key, answered together in one `O(1)`-round
+    /// exchange. For each query the result holds, per threshold, the number of
+    /// values sharing the query's group key that are strictly smaller.
+    ///
+    /// This is how the colored H-ary tree of the paper is queried: a descent step
+    /// sends one package per tree node naming the boundaries it needs, and the
+    /// machines holding that node's points answer all boundaries at once.
+    pub fn rank_search_multi<T, Q, K, FV, FQ>(
+        &mut self,
+        values: &DistVec<T>,
+        vkey: FV,
+        queries: DistVec<Q>,
+        qkey: FQ,
+    ) -> DistVec<(Q, Vec<u64>)>
+    where
+        T: Sync,
+        Q: Send + Sync,
+        K: Ord + Send + Sync,
+        FV: Fn(&T) -> (K, u64) + Sync,
+        FQ: Fn(&Q) -> (K, Vec<u64>) + Sync,
+    {
+        let n_values = values.len() as u64;
+        let n_queries = queries.len() as u64;
+        let mut keyed: Vec<(K, u64)> =
+            compute::per_part(&values.parts, |_, part| part.iter().map(&vkey).collect())
+                .into_iter()
+                .flatten()
+                .collect();
+        keyed.par_sort();
+        let answered: Vec<(Q, Vec<u64>)> = compute::per_part_owned(queries.parts, |part| {
+            part.into_iter()
+                .map(|q| {
+                    let (group, thresholds) = qkey(&q);
+                    let lo = keyed.partition_point(|(g, _)| *g < group);
+                    let slice = &keyed[lo..];
+                    let counts: Vec<u64> = thresholds
+                        .into_iter()
+                        .map(|t| slice.partition_point(|(g, v)| *g == group && *v < t) as u64)
+                        .collect();
+                    (q, counts)
+                })
+                .collect()
+        })
+        .into_iter()
+        .flatten()
+        .collect();
+        // Communication: every value key moves once; every package moves to its
+        // group and back with one word per threshold answer.
+        let thresholds_total: u64 = answered.iter().map(|(_, c)| c.len() as u64).sum();
+        let communication = n_values + 2 * n_queries + thresholds_total;
+        // Lemma 2.6 routes packages to their groups and back; the answers come
+        // home rebalanced.
+        let out = DistVec::from_parts(compute::balance(answered, self.config.machines));
+        self.account(
+            Superstep::new("rank_search_multi", costs::RANK_SEARCH_MULTI, communication),
+            &out,
+        );
+        out
+    }
+
     /// Groups items by key, places every group on a single machine (greedy packing)
     /// and applies `f` to each group. The group key and its items are passed by
     /// value; the outputs of all groups are left distributed as packed.
@@ -394,9 +458,11 @@ impl Cluster {
             Superstep::new("group_map", costs::GROUP_MAP, total),
             self.phase.as_deref(),
         );
-        let violated = self
-            .ledger
-            .observe_loads(loads.iter().copied(), self.config.space);
+        let violated = self.ledger.observe_loads(
+            loads.iter().copied(),
+            self.config.space,
+            self.phase.as_deref(),
+        );
         if violated && self.config.enforce_space {
             panic!(
                 "MPC space budget exceeded in `group_map`: max packed load {} > s = {}",
@@ -575,6 +641,36 @@ mod tests {
                 .count() as u64;
             assert_eq!(count, expected);
         }
+    }
+
+    #[test]
+    fn rank_search_multi_answers_every_threshold() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut cl = cluster(3000, 0.5);
+        let values: Vec<(u32, u64)> = (0..3000)
+            .map(|_| (rng.gen_range(0..7), rng.gen_range(0..500)))
+            .collect();
+        let queries: Vec<(u32, Vec<u64>)> = (0..200)
+            .map(|_| {
+                let group = rng.gen_range(0..8);
+                let k = rng.gen_range(1..6);
+                (group, (0..k).map(|_| rng.gen_range(0..600)).collect())
+            })
+            .collect();
+        let vdv = cl.distribute(values.clone());
+        let qdv = cl.distribute(queries);
+        let answered = cl.rank_search_multi(&vdv, |&v| v, qdv, |q| (q.0, q.1.clone()));
+        for ((group, thresholds), counts) in answered.into_inner() {
+            assert_eq!(thresholds.len(), counts.len());
+            for (t, c) in thresholds.iter().zip(&counts) {
+                let expected = values
+                    .iter()
+                    .filter(|&&(g, v)| g == group && v < *t)
+                    .count() as u64;
+                assert_eq!(*c, expected, "group={group} t={t}");
+            }
+        }
+        assert_eq!(cl.rounds(), costs::RANK_SEARCH_MULTI);
     }
 
     #[test]

@@ -26,9 +26,22 @@ pub struct MpcConfig {
 
 impl MpcConfig {
     /// Builds a configuration for input size `n` and scalability parameter `delta`,
-    /// with a poly-logarithmic slack of `4·log₂(n+2)` on the space budget and
-    /// space enforcement disabled (violations are recorded, not fatal).
+    /// with a poly-logarithmic slack of `4·log₂(n+2)` on the space budget.
+    ///
+    /// The budget is a **hard invariant**: any primitive that would place more
+    /// than `space` items on one machine panics. This is the default because the
+    /// paper's algorithms are fully scalable — they never need more. Use
+    /// [`MpcConfig::lenient`] for ablation baselines (e.g. the reference
+    /// grid-phase gather) that deliberately overshoot and only record violations.
     pub fn new(n: usize, delta: f64) -> Self {
+        Self::lenient(n, delta).strict()
+    }
+
+    /// Like [`MpcConfig::new`], but merely *records* space violations in the
+    /// ledger instead of panicking. This is the explicit opt-out used by the
+    /// ablation binaries and by tests that run deliberately non-conformant
+    /// baselines or force pathological parameter choices.
+    pub fn lenient(n: usize, delta: f64) -> Self {
         assert!(
             delta > 0.0 && delta < 1.0,
             "δ must lie strictly between 0 and 1"
@@ -66,6 +79,13 @@ impl MpcConfig {
         self
     }
 
+    /// Disables strict enforcement on an already-built configuration (violations
+    /// are recorded in the ledger instead of panicking).
+    pub fn recording(mut self) -> Self {
+        self.enforce_space = false;
+        self
+    }
+
     /// The theoretical per-machine space `n^{1−δ}` without the poly-log slack.
     pub fn base_space(&self) -> usize {
         (self.n.max(2) as f64).powf(1.0 - self.delta).ceil() as usize
@@ -87,6 +107,19 @@ mod tests {
         assert_eq!(cfg.machines, 256);
         assert!(cfg.space >= 256, "space must cover n^(1-δ)");
         assert!(cfg.total_space() >= 1 << 16, "cluster must hold the input");
+    }
+
+    #[test]
+    fn new_is_strict_and_lenient_records() {
+        assert!(MpcConfig::new(1000, 0.5).enforce_space);
+        assert!(!MpcConfig::lenient(1000, 0.5).enforce_space);
+        assert!(MpcConfig::lenient(1000, 0.5).strict().enforce_space);
+        assert!(!MpcConfig::new(1000, 0.5).recording().enforce_space);
+        // Budget derivation is identical on both paths.
+        let strict = MpcConfig::new(1 << 14, 0.4);
+        let lenient = MpcConfig::lenient(1 << 14, 0.4);
+        assert_eq!(strict.space, lenient.space);
+        assert_eq!(strict.machines, lenient.machines);
     }
 
     #[test]

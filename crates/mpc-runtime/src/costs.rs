@@ -27,6 +27,12 @@ pub const BROADCAST: u64 = 1;
 /// Rounds for offline rank searching (Lemma 2.6): sort + prefix sums + route back.
 pub const RANK_SEARCH: u64 = SORT + PREFIX_SUM + SHUFFLE;
 
+/// Rounds for one batched rank-search package exchange (the §3.2 tree-descent
+/// primitive): the same sort + prefix-sum + route structure as [`RANK_SEARCH`];
+/// a package carries several thresholds for one group key and is answered in
+/// the same superstep.
+pub const RANK_SEARCH_MULTI: u64 = RANK_SEARCH;
+
 /// Rounds for grouping records by key onto machines and mapping each group
 /// (sort by key + prefix sums for packing + route).
 pub const GROUP_MAP: u64 = SORT + PREFIX_SUM + SHUFFLE;

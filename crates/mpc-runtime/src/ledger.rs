@@ -49,6 +49,12 @@ pub struct Ledger {
     pub worst_overload: usize,
     /// Rounds attributed to each label (see [`crate::Cluster::set_phase`]).
     pub rounds_by_phase: BTreeMap<String, u64>,
+    /// Communicated items attributed to each label.
+    pub comm_by_phase: BTreeMap<String, u64>,
+    /// Peak per-machine load observed while each label was active.
+    pub max_load_by_phase: BTreeMap<String, usize>,
+    /// Space-violating supersteps attributed to each label.
+    pub violations_by_phase: BTreeMap<String, u64>,
     /// Number of primitive invocations by name.
     pub primitive_counts: BTreeMap<&'static str, u64>,
 }
@@ -59,6 +65,11 @@ impl Ledger {
     pub(crate) fn apply(&mut self, step: Superstep, phase: Option<&str>) {
         self.charge(step.primitive, step.rounds, phase);
         self.communicate(step.communication);
+        if step.communication > 0 {
+            if let Some(p) = phase {
+                *self.comm_by_phase.entry(p.to_string()).or_default() += step.communication;
+            }
+        }
     }
 
     /// Records `rounds` rounds of a primitive, attributing them to `phase` when set.
@@ -70,22 +81,33 @@ impl Ledger {
         }
     }
 
-    /// Records the load profile after a superstep.
+    /// Records the load profile after a superstep, attributing the peak (and any
+    /// violation) to `phase` when set.
     pub(crate) fn observe_loads(
         &mut self,
         loads: impl Iterator<Item = usize>,
         space: usize,
+        phase: Option<&str>,
     ) -> bool {
         let mut violated = false;
+        let mut peak = 0usize;
         for load in loads {
-            self.max_machine_load = self.max_machine_load.max(load);
+            peak = peak.max(load);
             if load > space {
                 violated = true;
                 self.worst_overload = self.worst_overload.max(load);
             }
         }
+        self.max_machine_load = self.max_machine_load.max(peak);
+        if let Some(p) = phase {
+            let entry = self.max_load_by_phase.entry(p.to_string()).or_default();
+            *entry = (*entry).max(peak);
+        }
         if violated {
             self.space_violations += 1;
+            if let Some(p) = phase {
+                *self.violations_by_phase.entry(p.to_string()).or_default() += 1;
+            }
         }
         violated
     }
@@ -141,10 +163,27 @@ mod tests {
     #[test]
     fn observe_loads_tracks_violations() {
         let mut ledger = Ledger::default();
-        assert!(!ledger.observe_loads([3, 5, 2].into_iter(), 10));
-        assert!(ledger.observe_loads([3, 50, 2].into_iter(), 10));
+        assert!(!ledger.observe_loads([3, 5, 2].into_iter(), 10, None));
+        assert!(ledger.observe_loads([3, 50, 2].into_iter(), 10, Some("route")));
         assert_eq!(ledger.max_machine_load, 50);
         assert_eq!(ledger.space_violations, 1);
         assert_eq!(ledger.worst_overload, 50);
+        assert_eq!(ledger.max_load_by_phase["route"], 50);
+        assert_eq!(ledger.violations_by_phase["route"], 1);
+    }
+
+    #[test]
+    fn per_phase_breakdowns_accumulate() {
+        let mut ledger = Ledger::default();
+        ledger.apply(Superstep::new("sort", 3, 500), Some("route"));
+        ledger.apply(Superstep::new("sort", 3, 200), Some("route"));
+        ledger.apply(Superstep::new("sort", 3, 70), Some("grid"));
+        assert_eq!(ledger.comm_by_phase["route"], 700);
+        assert_eq!(ledger.comm_by_phase["grid"], 70);
+        assert_eq!(ledger.communication, 770);
+        let _ = ledger.observe_loads([4, 9].into_iter(), 100, Some("grid"));
+        let _ = ledger.observe_loads([7, 2].into_iter(), 100, Some("grid"));
+        assert_eq!(ledger.max_load_by_phase["grid"], 9);
+        assert!(ledger.violations_by_phase.is_empty());
     }
 }

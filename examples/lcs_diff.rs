@@ -55,7 +55,7 @@ fn main() {
 
         // MPC answer. The corollary's space regime is Õ(n²) total; with a small
         // vocabulary collision rate the actual pair count stays near-linear.
-        let mut cluster = Cluster::new(MpcConfig::new(a.len().max(b.len()), 0.5));
+        let mut cluster = Cluster::new(MpcConfig::lenient(a.len().max(b.len()), 0.5));
         let (mpc, pairs) = lcs_mpc(&mut cluster, &a, &b, &MulParams::default());
         assert_eq!(mpc, dp);
 

@@ -3,8 +3,8 @@
 
 use monge_mpc_suite::monge::distribution::DistributionMatrix;
 use monge_mpc_suite::monge::multiway::mul_multiway;
-use monge_mpc_suite::monge::{mul_dense, mul_steady_ant, PermutationMatrix};
-use monge_mpc_suite::monge_mpc::{self, MulParams};
+use monge_mpc_suite::monge::{mul_dense, mul_steady_ant, PermutationMatrix, SubPermutationMatrix};
+use monge_mpc_suite::monge_mpc::{self, GridPhase, MulParams};
 use monge_mpc_suite::mpc_runtime::{Cluster, MpcConfig};
 use monge_mpc_suite::seaweed_lis::baselines::{lcs_length_dp, lis_length_patience};
 use monge_mpc_suite::seaweed_lis::kernel::{compose_horizontal, SeaweedKernel};
@@ -30,6 +30,24 @@ fn perm_triple(max_n: usize) -> impl Strategy<Value = (Vec<u32>, Vec<u32>, Vec<u
 /// Strategy: a random sequence with duplicates.
 fn sequence(max_n: usize, alphabet: u32) -> impl Strategy<Value = Vec<u32>> {
     prop::collection::vec(0..alphabet, 0..=max_n)
+}
+
+/// Masks a permutation into a (square) sub-permutation: rows where the mask is
+/// zero become empty.
+fn subperm_from(perm: &[u32], mask: &[u32]) -> SubPermutationMatrix {
+    let n = perm.len();
+    let rows: Vec<u32> = perm
+        .iter()
+        .enumerate()
+        .map(|(i, &c)| {
+            if mask[i % mask.len().max(1)] == 1 {
+                c
+            } else {
+                SubPermutationMatrix::NONE
+            }
+        })
+        .collect();
+    SubPermutationMatrix::from_rows(rows, n)
 }
 
 proptest! {
@@ -82,7 +100,7 @@ proptest! {
         let pa = PermutationMatrix::from_rows(a);
         let pb = PermutationMatrix::from_rows(b);
         let expected = mul_steady_ant(&pa, &pb);
-        let mut cluster = Cluster::new(MpcConfig::new(pa.size().max(4), 0.5).with_space(thr * 2));
+        let mut cluster = Cluster::new(MpcConfig::lenient(pa.size().max(4), 0.5).with_space(thr * 2));
         let params = MulParams::default().with_h(h).with_g(g).with_local_threshold(thr);
         prop_assert_eq!(monge_mpc::mul(&mut cluster, &pa, &pb, &params), expected);
     }
@@ -119,7 +137,7 @@ proptest! {
     #[test]
     fn mpc_lis_matches_patience(seq in sequence(150, 50), space in 8usize..64) {
         let n = seq.len().max(4);
-        let mut cluster = Cluster::new(MpcConfig::new(n, 0.5).with_space(space));
+        let mut cluster = Cluster::new(MpcConfig::lenient(n, 0.5).with_space(space));
         let got = lis_mpc::lis_length_mpc(&mut cluster, &seq, &MulParams::default());
         prop_assert_eq!(got, lis_length_patience(&seq));
     }
@@ -128,9 +146,41 @@ proptest! {
     #[test]
     fn mpc_lcs_matches_dp(a in sequence(40, 6), b in sequence(40, 6)) {
         let total = (a.len() * b.len()).max(4);
-        let mut cluster = Cluster::new(MpcConfig::new(total, 0.5).with_space(32));
+        let mut cluster = Cluster::new(MpcConfig::lenient(total, 0.5).with_space(32));
         let got = lis_mpc::lcs_length_mpc(&mut cluster, &a, &b, &MulParams::default());
         prop_assert_eq!(got, lcs_length_dp(&a, &b));
+    }
+
+    /// The space-conformant tree grid phase and the gathering reference oracle are
+    /// genuinely distinct code paths that agree bit-for-bit: identical product
+    /// nonzeros and identical round counts, across random sub-permutations and
+    /// (h, g, δ) choices. (Arbitrary parameter choices sit outside the paper's
+    /// regime, so both run with record-only space enforcement.)
+    #[test]
+    fn grid_phase_tree_matches_reference_on_subperms(
+        (a, b) in perm_pair(44),
+        mask_a in prop::collection::vec(0u32..2, 44),
+        mask_b in prop::collection::vec(0u32..2, 44),
+        h in 2usize..6,
+        g in 3usize..12,
+        delta_tenths in 2usize..9,
+    ) {
+        let n = a.len();
+        let delta = delta_tenths as f64 / 10.0;
+        let sa = subperm_from(&a, &mask_a);
+        let sb = subperm_from(&b, &mask_b);
+        let base = MulParams::default().with_h(h).with_g(g).with_local_threshold(6);
+
+        let mut tree = Cluster::new(MpcConfig::lenient(n.max(4), delta));
+        let got_tree = monge_mpc::mul_sub(
+            &mut tree, &sa, &sb, &base.clone().with_grid_phase(GridPhase::Tree));
+
+        let mut reference = Cluster::new(MpcConfig::lenient(n.max(4), delta));
+        let got_reference = monge_mpc::mul_sub(
+            &mut reference, &sa, &sb, &base.with_grid_phase(GridPhase::Reference));
+
+        prop_assert_eq!(got_tree, got_reference);
+        prop_assert_eq!(tree.rounds(), reference.rounds());
     }
 
     /// Semi-local LIS window queries match brute force on arbitrary windows.

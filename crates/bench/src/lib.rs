@@ -18,6 +18,9 @@ use rand::prelude::*;
 /// * `--grid-phase tree|reference` — restrict binaries that ablate the combine's
 ///   grid-phase strategy (currently `exp_ablation`) to one strategy; others
 ///   ignore it.
+/// * `--max-n N` — scale the experiment's problem-size grid up to `N`
+///   (binaries with a size sweep extend their grid; others size their single
+///   instance from it).
 #[derive(Clone, Debug, Default)]
 pub struct ExpOpts {
     /// Emit JSON instead of plain-text tables.
@@ -26,6 +29,8 @@ pub struct ExpOpts {
     pub threads: Option<usize>,
     /// Grid-phase restriction (`"tree"` or `"reference"`).
     pub grid_phase: Option<String>,
+    /// Upper bound of the problem-size sweep (`--max-n`).
+    pub max_n: Option<usize>,
 }
 
 impl ExpOpts {
@@ -33,7 +38,9 @@ impl ExpOpts {
     /// returns the options. Unknown arguments print usage and exit.
     pub fn from_env() -> Self {
         fn usage(program: &str) -> ! {
-            eprintln!("usage: {program} [--json] [--threads N] [--grid-phase tree|reference]");
+            eprintln!(
+                "usage: {program} [--json] [--threads N] [--grid-phase tree|reference] [--max-n N]"
+            );
             std::process::exit(2);
         }
         let mut args = std::env::args();
@@ -46,6 +53,10 @@ impl ExpOpts {
                     Some(n) if n > 0 => opts.threads = Some(n),
                     _ => usage(&program),
                 },
+                "--max-n" => match args.next().and_then(|v| v.parse().ok()) {
+                    Some(n) if n > 0 => opts.max_n = Some(n),
+                    _ => usage(&program),
+                },
                 "--grid-phase" => match args.next().as_deref() {
                     Some(v @ ("tree" | "reference")) => opts.grid_phase = Some(v.to_string()),
                     _ => usage(&program),
@@ -53,12 +64,19 @@ impl ExpOpts {
                 other => match (
                     other.strip_prefix("--threads="),
                     other.strip_prefix("--grid-phase="),
+                    other.strip_prefix("--max-n="),
                 ) {
-                    (Some(v), _) => match v.parse() {
+                    (Some(v), _, _) => match v.parse() {
                         Ok(n) if n > 0 => opts.threads = Some(n),
                         _ => usage(&program),
                     },
-                    (_, Some(v @ ("tree" | "reference"))) => opts.grid_phase = Some(v.to_string()),
+                    (_, Some(v @ ("tree" | "reference")), _) => {
+                        opts.grid_phase = Some(v.to_string())
+                    }
+                    (_, _, Some(v)) => match v.parse() {
+                        Ok(n) if n > 0 => opts.max_n = Some(n),
+                        _ => usage(&program),
+                    },
                     _ => usage(&program),
                 },
             }
@@ -167,6 +185,21 @@ pub fn json_envelope(experiment: &str, parts: &[(&str, String)]) -> String {
     out
 }
 
+/// Doubling problem-size grid: `base, 2·base, …` up to `max_n` (when given)
+/// or `default_max`. Used by the experiment binaries to honor `--max-n`; a
+/// cap below `base` yields an *empty* grid, so a binary that appends the
+/// sweep to a fixed case list can be held to the fixed list alone.
+pub fn size_sweep(base: usize, default_max: usize, max_n: Option<usize>) -> Vec<usize> {
+    let cap = max_n.unwrap_or(default_max);
+    let mut ns = Vec::new();
+    let mut n = base;
+    while n <= cap {
+        ns.push(n);
+        n = n.saturating_mul(2);
+    }
+    ns
+}
+
 /// Deterministic random permutation of `0..n`.
 pub fn random_permutation(n: usize, seed: u64) -> PermutationMatrix {
     let mut rng = StdRng::seed_from_u64(seed);
@@ -265,6 +298,16 @@ impl Table {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn size_sweep_honors_the_cap() {
+        assert_eq!(size_sweep(2048, 8192, None), vec![2048, 4096, 8192]);
+        assert_eq!(size_sweep(2048, 8192, Some(4096)), vec![2048, 4096]);
+        // A cap below the base yields an empty grid (no silent clamping up).
+        assert!(size_sweep(8192, 4096, None).is_empty());
+        assert!(size_sweep(8192, 4096, Some(4096)).is_empty());
+        assert_eq!(size_sweep(8192, 4096, Some(16384)), vec![8192, 16384]);
+    }
 
     #[test]
     fn generators_are_deterministic() {

@@ -1,43 +1,82 @@
 //! Corollary 1.3.1: exact LCS length in `O(log n)` MPC rounds via Hunt–Szymanski.
 //!
 //! All matching pairs `(i, j)` of the two strings are listed in lexicographic order
-//! (by `i` ascending, `j` descending) — a sort-join costing `O(1)` rounds — and the
-//! LIS (strictly increasing in `j`) of that pair sequence equals the LCS. The pair
-//! list can hold up to `|a| · |b|` entries, which is why the corollary assumes
-//! `Õ(n²)` total space (`m = n^{1+δ}` machines); the simulator records the resulting
-//! load so experiments can report it.
+//! (by `i` ascending, `j` descending) and the LIS (strictly increasing in `j`) of
+//! that pair sequence equals the LCS. The pair list is produced *distributed*: a
+//! sort-join groups both strings by symbol (`O(1)` rounds), each symbol class
+//! emits its cross product with the outputs leaving rebalanced
+//! ([`mpc_runtime::Cluster::group_map_rebalanced`] — no machine ever holds a
+//! symbol class's full pair set), and one more sort puts the pairs in
+//! lexicographic order. The pair list can hold up to `|a| · |b|` entries, which
+//! is why the corollary assumes `Õ(n²)` total space (`m = n^{1+δ}` machines);
+//! size the cluster for `|a| · |b|` and the whole pipeline — join included —
+//! runs violation-free on strict clusters.
 
 use crate::lis::lis_length_mpc;
 use monge_mpc::MulParams;
-use mpc_runtime::{costs, Cluster};
-use std::collections::HashMap;
-use std::hash::Hash;
+use mpc_runtime::Cluster;
 
 /// Computes the LCS length of `a` and `b` on the cluster.
 ///
 /// Returns the LCS length together with the number of matching pairs the
 /// Hunt–Szymanski reduction produced (the quantity that drives the total space).
-pub fn lcs_mpc<T: Eq + Hash + Clone>(
+///
+/// The cluster should be sized for the corollary's regime (`n = |a| · |b|` in
+/// the worst case): the match pairs are spread across all machines, so the
+/// budget must cover `pairs / machines` items per machine.
+pub fn lcs_mpc<T: Ord + std::hash::Hash + Clone + Send + Sync>(
     cluster: &mut Cluster,
     a: &[T],
     b: &[T],
     params: &MulParams,
 ) -> (usize, usize) {
-    // The sort-join producing the match pairs: one O(1)-round sort of both strings
-    // by symbol plus a shuffle of the pairs.
+    // The sort-join producing the match pairs, fully distributed: group both
+    // strings by symbol, emit each class's cross product (outputs rebalanced),
+    // then sort the pairs into Hunt–Szymanski order.
     cluster.set_phase(Some("lcs-match-pairs"));
-    cluster.charge_rounds("lcs-match-join", costs::SORT + costs::SHUFFLE);
-
-    let mut positions: HashMap<&T, Vec<u32>> = HashMap::new();
-    for (j, y) in b.iter().enumerate() {
-        positions.entry(y).or_default().push(j as u32);
-    }
-    let mut seconds: Vec<u32> = Vec::new();
-    for x in a {
-        if let Some(js) = positions.get(x) {
-            seconds.extend(js.iter().rev());
-        }
-    }
+    let a_items = cluster.distribute(
+        a.iter()
+            .enumerate()
+            .map(|(i, x)| (x.clone(), false, i as u32))
+            .collect::<Vec<_>>(),
+    );
+    let b_items = cluster.distribute(
+        b.iter()
+            .enumerate()
+            .map(|(j, y)| (y.clone(), true, j as u32))
+            .collect::<Vec<_>>(),
+    );
+    let both = cluster.concat(a_items, b_items);
+    let pairs = cluster.group_map_rebalanced(
+        both,
+        |(sym, _, _)| sym.clone(),
+        |_, items| {
+            let mut is: Vec<u32> = Vec::new();
+            let mut js: Vec<u32> = Vec::new();
+            for (_, is_b, pos) in items {
+                if is_b {
+                    js.push(pos);
+                } else {
+                    is.push(pos);
+                }
+            }
+            is.sort_unstable();
+            js.sort_unstable_by_key(|&j| std::cmp::Reverse(j));
+            let mut out = Vec::with_capacity(is.len() * js.len());
+            for &i in &is {
+                for &j in &js {
+                    out.push((i, j));
+                }
+            }
+            out
+        },
+    );
+    let sorted = cluster.sort_by_key(pairs, |&(i, j)| (i, std::cmp::Reverse(j)));
+    let seconds: Vec<u32> = cluster
+        .collect(sorted)
+        .into_iter()
+        .map(|(_, j)| j)
+        .collect();
     let pair_count = seconds.len();
     cluster.set_phase(None::<String>);
 
@@ -48,7 +87,7 @@ pub fn lcs_mpc<T: Eq + Hash + Clone>(
 }
 
 /// Convenience wrapper returning only the LCS length.
-pub fn lcs_length_mpc<T: Eq + Hash + Clone>(
+pub fn lcs_length_mpc<T: Ord + std::hash::Hash + Clone + Send + Sync>(
     cluster: &mut Cluster,
     a: &[T],
     b: &[T],
@@ -68,6 +107,11 @@ mod tests {
         (0..len).map(|_| rng.gen_range(0..alphabet)).collect()
     }
 
+    /// The corollary's regime: a strict cluster sized for `|a| · |b|` pairs.
+    fn strict_cluster(total: usize, delta: f64) -> Cluster {
+        Cluster::new(MpcConfig::new(total.max(4), delta))
+    }
+
     #[test]
     fn matches_dp_on_random_strings() {
         let mut rng = StdRng::seed_from_u64(1);
@@ -77,10 +121,10 @@ mod tests {
             let alphabet = rng.gen_range(2..10);
             let a = random_string(m, alphabet, &mut rng);
             let b = random_string(n, alphabet, &mut rng);
-            let total = (m * n).max(4);
-            let mut cluster = Cluster::new(MpcConfig::lenient(total, 0.5).with_space(32));
+            let mut cluster = strict_cluster(m * n, 0.6);
             let got = lcs_length_mpc(&mut cluster, &a, &b, &MulParams::default());
             assert_eq!(got, lcs_length_dp(&a, &b), "a={a:?} b={b:?}");
+            assert_eq!(cluster.ledger().space_violations, 0);
         }
     }
 
@@ -88,7 +132,7 @@ mod tests {
     fn reports_pair_count() {
         let a = vec![1u32; 30];
         let b = vec![1u32; 20];
-        let mut cluster = Cluster::new(MpcConfig::lenient(600, 0.5).with_space(64));
+        let mut cluster = strict_cluster(600, 0.5);
         let (len, pairs) = lcs_mpc(&mut cluster, &a, &b, &MulParams::default());
         assert_eq!(len, 20);
         assert_eq!(pairs, 600);
@@ -98,7 +142,7 @@ mod tests {
     fn disjoint_alphabets() {
         let a = vec![1u32, 2, 3];
         let b = vec![4u32, 5, 6];
-        let mut cluster = Cluster::new(MpcConfig::lenient(16, 0.5));
+        let mut cluster = strict_cluster(16, 0.5);
         assert_eq!(
             lcs_length_mpc(&mut cluster, &a, &b, &MulParams::default()),
             0
@@ -108,9 +152,23 @@ mod tests {
     #[test]
     fn identical_strings_use_linear_pairs_per_symbol_class() {
         let a: Vec<u32> = (0..60).collect();
-        let mut cluster = Cluster::new(MpcConfig::lenient(64, 0.5).with_space(16));
+        let mut cluster = strict_cluster(64, 0.6);
         let (len, pairs) = lcs_mpc(&mut cluster, &a, &a, &MulParams::default());
         assert_eq!(len, 60);
         assert_eq!(pairs, 60);
+    }
+
+    #[test]
+    fn heavy_symbol_classes_stay_within_budget() {
+        // A two-symbol alphabet produces ~n²/2 pairs in two huge classes: the
+        // rebalanced join must spread them instead of parking a class's whole
+        // cross product on one machine (strict cluster: overshoot would panic).
+        let mut rng = StdRng::seed_from_u64(7);
+        let a = random_string(48, 2, &mut rng);
+        let b = random_string(48, 2, &mut rng);
+        let mut cluster = strict_cluster(48 * 48, 0.6);
+        let got = lcs_length_mpc(&mut cluster, &a, &b, &MulParams::default());
+        assert_eq!(got, lcs_length_dp(&a, &b));
+        assert_eq!(cluster.ledger().space_violations, 0);
     }
 }

@@ -11,6 +11,16 @@
 //! computed locally, and adjacent kernels are merged level by level — every level
 //! costs `O(1)` rounds (relabelling by sorting plus one batched `⊡`), and there are
 //! `O(log n)` levels.
+//!
+//! Both pipelines are **space-conformant**: they run on strict
+//! [`mpc_runtime::MpcConfig::new`] clusters (any budget overshoot panics) with
+//! zero recorded violations at every `δ`. Base blocks are sized off the
+//! per-machine budget in one place ([`lis::base_block_size`]: the largest `B`
+//! with `3·B·⌈⌈n/B⌉/m⌉ ≤ s`, because a block materializes its value set plus a
+//! `2B`-entry kernel), block kernels are combed in budget-bounded streamed
+//! sub-blocks and emitted entry-wise so the ledger sees their real footprint,
+//! and every merge level runs its `⊡` under a `lis-merge-L<k>` ledger scope so
+//! rounds, communication and loads are attributed per level.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]

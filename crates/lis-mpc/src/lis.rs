@@ -5,22 +5,29 @@
 //! 1. **Rank** the input (one `O(1)`-round sort): strictly increasing subsequences of
 //!    the original sequence correspond exactly to increasing subsequences of the rank
 //!    permutation (ties broken by descending position).
-//! 2. **Base blocks**: the sequence is cut into blocks that fit into one machine's
-//!    space; each machine combs the seaweed kernel of its block locally (one
-//!    `group_map`).
+//! 2. **Base blocks**: the sequence is cut into blocks sized off the space budget
+//!    (see [`base_block_size`]); each machine combs the seaweed kernel of its
+//!    blocks locally in budget-bounded streamed sub-blocks
+//!    ([`seaweed_lis::lis::lis_kernel_permutation_streamed`]) and emits the
+//!    kernel *entries*, so the ledger observes the kernel's real `3B`-item
+//!    footprint rather than an opaque handle.
 //! 3. **Merge levels**: adjacent blocks are merged pairwise. Per level, every pair is
 //!    relabelled to the union of its value sets (inflation — `O(1)` rounds of index
 //!    arithmetic) and the two kernels are composed with one *batched* MPC unit-Monge
-//!    multiplication (`monge_mpc::mul_batch`). The level count is `⌈log₂(n / B)⌉`,
-//!    hence `O(log n)` rounds in total.
+//!    multiplication (`monge_mpc::mul_batch`), run under a `lis-merge-L<k>` ledger
+//!    scope so every inner `⊡` phase is attributed per level. The level count is
+//!    `⌈log₂(n / B)⌉`, hence `O(log n)` rounds in total.
 //!
-//! The final kernel answers every semi-local (window) LIS query; the global LIS
-//! length is read off the full window.
+//! The whole pipeline honors the strict `s = Õ(n^{1−δ})` budget: it runs on
+//! [`mpc_runtime::MpcConfig::new`] (strict) clusters with zero recorded
+//! violations. The final kernel answers every semi-local (window) LIS query; the
+//! global LIS length is read off the full window.
 
+use monge::PermutationMatrix;
 use monge_mpc::MulParams;
-use mpc_runtime::{costs, Cluster};
+use mpc_runtime::{costs, Cluster, MpcConfig};
 use seaweed_lis::kernel::{compose_from_product, compose_operands, SeaweedKernel};
-use seaweed_lis::lis::{lis_kernel_permutation, rank_sequence};
+use seaweed_lis::lis::{lis_kernel_permutation_streamed, rank_sequence};
 
 /// Result of the MPC LIS computation.
 #[derive(Clone, Debug)]
@@ -45,6 +52,43 @@ struct Block {
     kernel: SeaweedKernel,
 }
 
+/// Derives the base block size from the per-machine budget (the one place the
+/// formula lives).
+///
+/// A block of `B` elements materializes, on the machine that combs it, its
+/// sorted value set (`B` items) plus its seaweed kernel (`2B` permutation
+/// entries) — `3B` resident items — and the greedy packing may co-locate up to
+/// `⌈⌈n/B⌉ / m⌉` blocks on one machine. `B` is therefore the largest value not
+/// exceeding the `⊡` local-solve threshold with
+///
+/// ```text
+/// 3 · B · ⌈⌈n/B⌉ / m⌉ ≤ s
+/// ```
+///
+/// (halving until it fits, floored at 4). With the default strict budget
+/// (`s = 4·log₂(n)·n^{1−δ}`, threshold `s/4`) one block per machine satisfies
+/// this at `B = s/4`, which is what the old `space`-sized blocks violated: a
+/// block of `s` elements combs a kernel of `2s` seaweeds.
+pub fn base_block_size(n: usize, config: &MpcConfig, local_threshold: usize) -> usize {
+    let machines = config.machines.max(1);
+    let mut b = local_threshold.min(n.max(4)).max(4);
+    while b > 4 {
+        let per_machine = n.div_ceil(b).div_ceil(machines);
+        if 3 * b * per_machine <= config.space {
+            break;
+        }
+        b = (b / 2).max(4);
+    }
+    b
+}
+
+/// Chunk size for streamed base-block combing: the largest sub-block whose
+/// `(2c)²`-bit crossing history fits the machine's word budget (`c²/16 ≤ s`),
+/// floored at the direct-comb base.
+fn comb_chunk(space: usize) -> usize {
+    (4.0 * (space as f64).sqrt()).floor().max(32.0) as usize
+}
+
 /// Computes the full semi-local LIS kernel of `seq` on the cluster.
 pub fn lis_kernel_mpc<T: Ord>(
     cluster: &mut Cluster,
@@ -66,9 +110,14 @@ pub fn lis_kernel_mpc<T: Ord>(
     cluster.charge_rounds("lis-rank", costs::SORT + costs::INVERSE_PERMUTATION);
     let ranks = rank_sequence(seq);
 
-    // Step 2: base blocks combed locally (one group_map).
-    cluster.set_phase(Some("lis-base-blocks"));
-    let block_size = cluster.config().space.clamp(4, n.max(4));
+    // Step 2: base blocks, sized off the budget and combed locally in streamed
+    // sub-blocks (one group_map). Each block emits its kernel as entries —
+    // (block, kind, index, value) — so the ledger sees the true 3B-item
+    // footprint per block and strict clusters enforce it.
+    cluster.set_phase(Some("lis-base"));
+    let local_threshold = params.resolved(cluster.config(), n.max(2)).local_threshold;
+    let block_size = base_block_size(n, cluster.config(), local_threshold);
+    let chunk = comb_chunk(cluster.config().space);
     let positions = cluster.distribute(
         ranks
             .iter()
@@ -76,37 +125,70 @@ pub fn lis_kernel_mpc<T: Ord>(
             .map(|(i, &r)| (i as u32, r))
             .collect::<Vec<_>>(),
     );
-    let base: Vec<(u32, Block)> = {
+    const KIND_VALUE: u8 = 0;
+    const KIND_EXIT: u8 = 1;
+    let entries = {
         let bs = block_size as u32;
-        let kernels = cluster.group_map(
+        cluster.group_map(
             positions,
             move |&(pos, _)| pos / bs,
             move |&block_id, mut items| {
                 items.sort_unstable_by_key(|&(pos, _)| pos);
                 let block_values: Vec<u32> = items.iter().map(|&(_, r)| r).collect();
-                let mut values: Vec<usize> = block_values.iter().map(|&r| r as usize).collect();
+                let mut values: Vec<u32> = block_values.clone();
                 values.sort_unstable();
                 let relabelled: Vec<u32> = block_values
                     .iter()
-                    .map(|&r| values.partition_point(|&v| v < r as usize) as u32)
+                    .map(|&r| values.partition_point(|&v| v < r) as u32)
                     .collect();
-                let kernel = lis_kernel_permutation(&relabelled);
-                vec![(block_id, Block { values, kernel })]
+                let kernel = lis_kernel_permutation_streamed(&relabelled, chunk);
+                let mut out = Vec::with_capacity(3 * values.len());
+                for (i, &v) in values.iter().enumerate() {
+                    out.push((block_id, KIND_VALUE, i as u32, v));
+                }
+                for e in 0..kernel.permutation().size() {
+                    out.push((block_id, KIND_EXIT, e as u32, kernel.exit_of(e) as u32));
+                }
+                out
             },
-        );
-        let mut base = cluster.collect(kernels);
-        base.sort_by_key(|&(id, _)| id);
-        base
+        )
     };
-    let mut blocks: Vec<Block> = base.into_iter().map(|(_, b)| b).collect();
+    let mut blocks: Vec<Block> = {
+        let mut flat = cluster.collect(entries);
+        flat.sort_unstable();
+        let mut blocks = Vec::new();
+        let mut i = 0;
+        while i < flat.len() {
+            let block_id = flat[i].0;
+            let mut values = Vec::new();
+            let mut exits = Vec::new();
+            while i < flat.len() && flat[i].0 == block_id {
+                let (_, kind, _, val) = flat[i];
+                match kind {
+                    KIND_VALUE => values.push(val as usize),
+                    _ => exits.push(val),
+                }
+                i += 1;
+            }
+            let m = values.len();
+            debug_assert_eq!(exits.len(), 2 * m);
+            blocks.push(Block {
+                values,
+                kernel: SeaweedKernel::from_parts(m, m, PermutationMatrix::from_rows(exits)),
+            });
+        }
+        blocks
+    };
 
-    // Step 3: pairwise merge levels.
+    // Step 3: pairwise merge levels, each under its own ledger scope so the
+    // inner ⊡ phases are attributed per level (`lis-merge-L2/combine-route`).
     let mut levels = 0;
     while blocks.len() > 1 {
         levels += 1;
-        cluster.set_phase(Some("lis-merge"));
+        cluster.set_phase_scope(Some(format!("lis-merge-L{levels}")));
         // Relabelling both halves of every pair to the union alphabet is an O(1)
         // round sort (the §4.2 "relabel A_lo and A_hi" step).
+        cluster.set_phase(Some("relabel"));
         cluster.charge_rounds("lis-relabel", costs::SORT);
 
         // Prepare the padded ⊡ operands of every pair; odd block passes through.
@@ -147,6 +229,7 @@ pub fn lis_kernel_mpc<T: Ord>(
         }
         blocks = next;
     }
+    cluster.set_phase_scope(None::<String>);
 
     let root = blocks.pop().expect("at least one block");
     debug_assert_eq!(root.kernel.y_len(), n);
@@ -197,12 +280,14 @@ fn merge_sorted(a: &[usize], b: &[usize]) -> Vec<usize> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mpc_runtime::MpcConfig;
     use rand::prelude::*;
     use seaweed_lis::baselines::{lis_length_patience, semi_local_lis_brute};
 
-    fn cluster_for(n: usize, delta: f64) -> Cluster {
-        Cluster::new(MpcConfig::lenient(n.max(4), delta))
+    /// A strict cluster at the paper's default budget: any overshoot panics, so
+    /// every test doubles as a zero-violation assertion. Higher δ shrinks the
+    /// per-machine budget and forces more merge levels.
+    fn strict_cluster(n: usize, delta: f64) -> Cluster {
+        Cluster::new(MpcConfig::new(n.max(4), delta))
     }
 
     #[test]
@@ -211,13 +296,11 @@ mod tests {
         for &n in &[1usize, 2, 10, 65, 130, 400, 1000] {
             let mut seq: Vec<u32> = (0..n as u32).collect();
             seq.shuffle(&mut rng);
-            let mut cluster = cluster_for(n, 0.5);
-            // A small space budget forces several merge levels.
-            let mut cfg = cluster.config().clone();
-            cfg.space = 32;
-            cluster = Cluster::new(cfg);
+            // A large δ forces several merge levels under the strict budget.
+            let mut cluster = strict_cluster(n, 0.75);
             let got = lis_length_mpc(&mut cluster, &seq, &MulParams::default());
             assert_eq!(got, lis_length_patience(&seq), "n={n}");
+            assert_eq!(cluster.ledger().space_violations, 0);
         }
     }
 
@@ -227,7 +310,7 @@ mod tests {
         for _ in 0..10 {
             let n = rng.gen_range(1..300);
             let seq: Vec<u32> = (0..n).map(|_| rng.gen_range(0..40)).collect();
-            let mut cluster = Cluster::new(MpcConfig::lenient(n.max(4), 0.5).with_space(24));
+            let mut cluster = strict_cluster(n as usize, 0.7);
             let got = lis_length_mpc(&mut cluster, &seq, &MulParams::default());
             assert_eq!(got, lis_length_patience(&seq), "{seq:?}");
         }
@@ -239,8 +322,9 @@ mod tests {
         let n = 200;
         let mut seq: Vec<u32> = (0..n as u32).collect();
         seq.shuffle(&mut rng);
-        let mut cluster = Cluster::new(MpcConfig::lenient(n, 0.5).with_space(32));
+        let mut cluster = strict_cluster(n, 0.75);
         let outcome = lis_kernel_mpc(&mut cluster, &seq, &MulParams::default());
+        assert!(outcome.levels >= 2, "the strict budget must force merging");
         let sequential = seaweed_lis::lis::lis_kernel(&seq);
         assert_eq!(outcome.kernel, sequential);
     }
@@ -251,7 +335,7 @@ mod tests {
         let n = 60;
         let mut seq: Vec<u32> = (0..n as u32).collect();
         seq.shuffle(&mut rng);
-        let mut cluster = Cluster::new(MpcConfig::lenient(n, 0.5).with_space(16));
+        let mut cluster = strict_cluster(n, 0.6);
         let outcome = lis_kernel_mpc(&mut cluster, &seq, &MulParams::default());
         let brute = semi_local_lis_brute(&seq);
         let queries = outcome.kernel.queries();
@@ -271,7 +355,7 @@ mod tests {
             let mut rng = StdRng::seed_from_u64(n as u64);
             let mut seq: Vec<u32> = (0..n as u32).collect();
             seq.shuffle(&mut rng);
-            let mut cluster = Cluster::new(MpcConfig::lenient(n, 0.5).with_space(64));
+            let mut cluster = strict_cluster(n, 0.75);
             let outcome = lis_kernel_mpc(&mut cluster, &seq, &MulParams::default());
             assert_eq!(outcome.length, lis_length_patience(&seq));
             assert!(outcome.levels >= 2);
@@ -286,21 +370,60 @@ mod tests {
     }
 
     #[test]
+    fn merge_phases_are_scoped_per_level() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let n = 512;
+        let mut seq: Vec<u32> = (0..n as u32).collect();
+        seq.shuffle(&mut rng);
+        let mut cluster = strict_cluster(n, 0.75);
+        let outcome = lis_kernel_mpc(&mut cluster, &seq, &MulParams::default());
+        let ledger = cluster.ledger();
+        for level in 1..=outcome.levels {
+            let prefix = format!("lis-merge-L{level}/");
+            assert!(
+                ledger
+                    .rounds_by_phase
+                    .keys()
+                    .any(|k| k.starts_with(&prefix)),
+                "no ledger phases recorded under {prefix}"
+            );
+        }
+        // Strict cluster + explicit check: no phase recorded a violation.
+        assert!(ledger.violations_by_phase.is_empty());
+    }
+
+    #[test]
+    fn base_block_size_respects_budget() {
+        // One block's 3B footprint times the blocks-per-machine factor must fit.
+        for &(n, delta) in &[(1usize << 12, 0.5), (1 << 14, 0.75), (1 << 10, 0.25)] {
+            let cfg = MpcConfig::new(n, delta);
+            let thr = (cfg.space / 4).max(4);
+            let b = base_block_size(n, &cfg, thr);
+            let per_machine = n.div_ceil(b).div_ceil(cfg.machines);
+            assert!(
+                3 * b * per_machine <= cfg.space || b == 4,
+                "B={b} overshoots at n={n} δ={delta}"
+            );
+            assert!(b <= thr);
+        }
+    }
+
+    #[test]
     fn sorted_and_reversed_inputs() {
         let inc: Vec<u32> = (0..500).collect();
         let dec: Vec<u32> = (0..500).rev().collect();
-        let mut cluster = Cluster::new(MpcConfig::lenient(500, 0.5).with_space(48));
+        let mut cluster = strict_cluster(500, 0.7);
         assert_eq!(
             lis_length_mpc(&mut cluster, &inc, &MulParams::default()),
             500
         );
-        let mut cluster = Cluster::new(MpcConfig::lenient(500, 0.5).with_space(48));
+        let mut cluster = strict_cluster(500, 0.7);
         assert_eq!(lis_length_mpc(&mut cluster, &dec, &MulParams::default()), 1);
     }
 
     #[test]
     fn empty_and_singleton() {
-        let mut cluster = cluster_for(4, 0.5);
+        let mut cluster = strict_cluster(4, 0.5);
         assert_eq!(
             lis_length_mpc::<u32>(&mut cluster, &[], &MulParams::default()),
             0

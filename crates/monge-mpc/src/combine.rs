@@ -192,6 +192,25 @@ pub fn distributed_combine(
 /// column band contains it **and** whose pierced color interval contains the
 /// point's color. (With [`Routing::Bands`] the classification widens every window
 /// to all colors, which turns the filter into a no-op and recovers the baseline.)
+///
+/// A band may be crossed by a near-flat demarcation line and then contains far
+/// more active subgrids than one machine's budget, so the routing never gathers
+/// a band. Instead it exploits the monotonicity of the pierced windows along a
+/// band (`opt` is nondecreasing in both coordinates, hence so are `wlo` and
+/// `whi` in the cross-band index):
+///
+/// 1. every active subgrid learns its *ordinal* within its band (one rank
+///    search over the band's cross-band indices);
+/// 2. every point finds the contiguous ordinal range of subgrids whose window
+///    contains its color — `[#{whi < color}, #{wlo ≤ color})` (two rank
+///    searches);
+/// 3. the point multicasts one copy per target ordinal
+///    ([`Cluster::flat_map_rebalanced`] — the copies leave balanced, as down a
+///    broadcast tree), and one final grouping joins each copy with the subgrid
+///    registered under that ordinal, re-addressing it to `(parent, gi, gj)`.
+///
+/// Every group along the way holds `O(1)` descriptors plus one band's worth of
+/// in-window points, so the whole exchange stays within the space budget.
 fn route_band(
     cluster: &mut Cluster,
     points: &DistVec<Colored>,
@@ -199,42 +218,80 @@ fn route_band(
     specs: &HashMap<u64, ParentSpec>,
     by_rows: bool,
 ) -> DistVec<(Target, Payload)> {
-    #[derive(Clone, Debug)]
-    enum Item {
-        Point(Colored),
-        Active(u64, u32, u32, u16, u16),
-    }
-    let pts = cluster.map(points, |p| Item::Point(*p));
-    let ds = cluster.map(active, |d| Item::Active(d.parent, d.gi, d.gj, d.wlo, d.whi));
-    let both = cluster.concat(pts, ds);
+    // A descriptor slimmed to plain words: (parent, gi, gj, wlo, whi).
+    type Slim = (u64, u32, u32, u16, u16);
+    let band = move |gi: u32, gj: u32| if by_rows { gi } else { gj };
+    let cross = move |gi: u32, gj: u32| if by_rows { gj } else { gi };
 
-    let key_specs = specs.clone();
-    cluster.group_map(
+    // Step 1: per-band ordinals for the active subgrids.
+    let slim: DistVec<Slim> = cluster.map(active, |d| (d.parent, d.gi, d.gj, d.wlo, d.whi));
+    let ordinals: DistVec<(Slim, u64)> = {
+        let queries = slim.clone();
+        let key =
+            move |&(parent, gi, gj, _, _): &Slim| ((parent, band(gi, gj)), cross(gi, gj) as u64);
+        cluster.rank_search(&slim, key, queries, key)
+    };
+
+    // Step 2: each point's contiguous target-ordinal range [j_lo, j_hi).
+    let specs_pt = specs.clone();
+    let point_band = move |p: &Colored| -> (u64, u32) {
+        let g = specs_pt[&p.inst].g as u32;
+        (p.inst, if by_rows { p.row / g } else { p.col / g })
+    };
+    let pb = point_band.clone();
+    let with_lo: DistVec<(Colored, u64)> = cluster.rank_search(
+        &slim,
+        move |&(parent, gi, gj, _, whi): &Slim| ((parent, band(gi, gj)), whi as u64),
+        points.clone(),
+        move |p| (pb(p), p.color as u64),
+    );
+    let pb = point_band.clone();
+    let with_range: DistVec<((Colored, u64), u64)> = cluster.rank_search(
+        &slim,
+        move |&(parent, gi, gj, wlo, _): &Slim| ((parent, band(gi, gj)), wlo as u64),
+        with_lo,
+        move |(p, _)| (pb(p), p.color as u64 + 1),
+    );
+
+    // Step 3: multicast one copy per target ordinal, then join each copy with
+    // the subgrid registered under that ordinal.
+    #[derive(Clone, Debug)]
+    enum Slot {
+        /// The subgrid registered at this ordinal: its cross-band identity.
+        Reg(u32, u32),
+        Pt(Colored),
+    }
+    let pb = point_band.clone();
+    let copies: DistVec<((u64, u32, u64), Slot)> =
+        cluster.flat_map_rebalanced(&with_range, move |&((p, j_lo), j_hi)| {
+            let (parent, band) = pb(&p);
+            (j_lo..j_hi)
+                .map(|ordinal| ((parent, band, ordinal), Slot::Pt(p)))
+                .collect()
+        });
+    let regs: DistVec<((u64, u32, u64), Slot)> =
+        cluster.map(&ordinals, move |&((parent, gi, gj, _, _), ordinal)| {
+            ((parent, band(gi, gj), ordinal), Slot::Reg(gi, gj))
+        });
+    let both = cluster.concat(regs, copies);
+    cluster.group_map_rebalanced(
         both,
-        move |item| match item {
-            Item::Point(p) => {
-                let g = key_specs[&p.inst].g as u32;
-                (p.inst, if by_rows { p.row / g } else { p.col / g })
-            }
-            Item::Active(parent, gi, gj, ..) => (*parent, if by_rows { *gi } else { *gj }),
-        },
-        move |_, items| {
-            let mut band_points = Vec::new();
-            let mut band_subgrids = Vec::new();
-            for item in items {
-                match item {
-                    Item::Point(p) => band_points.push(p),
-                    Item::Active(parent, gi, gj, wlo, whi) => {
-                        band_subgrids.push((parent, gi, gj, wlo, whi))
-                    }
+        |(key, _)| *key,
+        move |&(parent, _, _), items| {
+            let mut target = None;
+            let mut pts = Vec::new();
+            for (_, slot) in items {
+                match slot {
+                    Slot::Reg(gi, gj) => target = Some((gi, gj)),
+                    Slot::Pt(p) => pts.push(p),
                 }
             }
-            let mut out = Vec::new();
-            for &(parent, gi, gj, wlo, whi) in &band_subgrids {
-                for p in &band_points {
-                    if p.color < wlo || p.color > whi {
-                        continue; // Lemma 3.12: out-of-window colors never travel
-                    }
+            let Some((gi, gj)) = target else {
+                debug_assert!(pts.is_empty(), "copies addressed to an empty ordinal");
+                return Vec::new();
+            };
+            pts.into_iter()
+                .map(|p| {
                     let cp = ColoredPoint {
                         row: p.row,
                         col: p.col,
@@ -245,10 +302,9 @@ fn route_band(
                     } else {
                         Payload::ColPt(cp)
                     };
-                    out.push(((parent, gi, gj), payload));
-                }
-            }
-            out
+                    ((parent, gi, gj), payload)
+                })
+                .collect()
         },
     )
 }
@@ -828,8 +884,11 @@ fn classify(
     });
     let all = cluster.concat(line_items, point_items);
 
+    // Emission step: a band's verdicts and active-subgrid descriptors are
+    // inputs of later supersteps, not residents of the band machine; and one
+    // band can enumerate many active subgrids, so the outputs leave rebalanced.
     let specs_groups = specs.clone();
-    let outputs: DistVec<BandOut> = cluster.group_map(
+    let outputs: DistVec<BandOut> = cluster.group_map_rebalanced(
         all,
         |(key, _)| *key,
         move |&(parent, band), items| {
@@ -970,7 +1029,10 @@ fn attach_base_f_tree(
         })
         .collect();
     let geom_v = geom.clone();
-    let leveled: DistVec<((u64, u32, u64), u64)> = cluster.flat_map(colored, move |p| {
+    // The per-level copies are the tree's Õ(1)-factor space cost; they feed the
+    // batched rank search as its value side, so they leave rebalanced rather
+    // than piling up (height + 1)-fold beside their source points.
+    let leveled: DistVec<((u64, u32, u64), u64)> = cluster.flat_map_rebalanced(colored, move |p| {
         let (w, sizes) = &geom_v[&p.inst];
         let v = p.color as u64 * w + p.col as u64;
         sizes
@@ -1097,7 +1159,10 @@ fn attach_base_f_reference(
     active: DistVec<ActiveSubgrid>,
     specs: &HashMap<u64, ParentSpec>,
 ) -> DistVec<ActiveSubgrid> {
-    cluster.charge_rounds("corner_f_tree_mirror", costs::RANK_SEARCH_MULTI);
+    cluster.charge_rounds(
+        "corner_f_tree_mirror",
+        costs::MULTICAST + costs::RANK_SEARCH_MULTI,
+    );
     #[derive(Clone, Debug)]
     enum Item {
         Point(Colored),

@@ -161,6 +161,11 @@ pub struct Cluster {
     config: MpcConfig,
     ledger: Ledger,
     phase: Option<String>,
+    /// Enclosing phase scope (see [`Cluster::set_phase_scope`]); prefixes every
+    /// phase label as `scope/phase`.
+    scope: Option<String>,
+    /// Cached effective label (`scope/phase`, or whichever half is set).
+    label: Option<String>,
 }
 
 impl Cluster {
@@ -170,6 +175,8 @@ impl Cluster {
             config,
             ledger: Ledger::default(),
             phase: None,
+            scope: None,
+            label: None,
         }
     }
 
@@ -197,26 +204,47 @@ impl Cluster {
     /// (pass `None` to clear).
     pub fn set_phase<S: Into<String>>(&mut self, label: Option<S>) {
         self.phase = label.map(Into::into);
+        self.relabel();
+    }
+
+    /// Sets an enclosing phase *scope*: while set, every phase label (including
+    /// the labels sub-algorithms set via [`Cluster::set_phase`]) is attributed
+    /// to the ledger as `scope/phase`. This is how a driver (e.g. the LIS merge
+    /// loop) gets a per-level breakdown of the phases its inner `⊡` batches
+    /// run — `lis-merge-L2/combine-route` rather than a global `combine-route`
+    /// bucket. Pass `None` to clear.
+    pub fn set_phase_scope<S: Into<String>>(&mut self, scope: Option<S>) {
+        self.scope = scope.map(Into::into);
+        self.relabel();
+    }
+
+    fn relabel(&mut self) {
+        self.label = match (self.scope.as_deref(), self.phase.as_deref()) {
+            (Some(s), Some(p)) => Some(format!("{s}/{p}")),
+            (Some(s), None) => Some(s.to_string()),
+            (None, Some(p)) => Some(p.to_string()),
+            (None, None) => None,
+        };
     }
 
     /// Manually charges `rounds` rounds (for modelling a step outside the provided
     /// primitives).
     pub fn charge_rounds(&mut self, primitive: &'static str, rounds: u64) {
-        self.ledger.charge(primitive, rounds, self.phase.as_deref());
+        self.ledger.charge(primitive, rounds, self.label.as_deref());
     }
 
     /// The accounting phase of a primitive: applies the cost receipt, then
     /// observes the output's load profile. Runs on the calling thread only.
     fn account<T>(&mut self, step: Superstep, out: &DistVec<T>) {
         let context = step.primitive;
-        self.ledger.apply(step, self.phase.as_deref());
+        self.ledger.apply(step, self.label.as_deref());
         self.observe(out, context);
     }
 
     fn observe<T>(&mut self, dv: &DistVec<T>, context: &'static str) {
         let violated =
             self.ledger
-                .observe_loads(dv.loads(), self.config.space, self.phase.as_deref());
+                .observe_loads(dv.loads(), self.config.space, self.label.as_deref());
         if violated && self.config.enforce_space {
             panic!(
                 "MPC space budget exceeded in `{context}`: max load {} > s = {} \
@@ -430,6 +458,41 @@ impl Cluster {
         out
     }
 
+    /// Shared gather phase of [`Cluster::group_map`] and
+    /// [`Cluster::group_map_rebalanced`]: collects `parts` into key-sorted
+    /// groups, picks the LPT packing and accounts the packed load profile
+    /// *before* any group runs, so strict clusters refuse oversized groups up
+    /// front. Returns the groups with their target machines.
+    #[allow(clippy::type_complexity)]
+    fn gather_packed<T, K, FK>(
+        &mut self,
+        parts: Vec<Vec<T>>,
+        key: FK,
+        primitive: &'static str,
+    ) -> (Vec<(K, Vec<T>)>, Vec<usize>)
+    where
+        T: Send,
+        K: Ord + Send + Sync,
+        FK: Fn(&T) -> K + Sync,
+    {
+        let groups = compute::gather_groups(parts, &key);
+        let sizes: Vec<usize> = groups.iter().map(|(_, items)| items.len()).collect();
+        let (machine_of_group, loads) = compute::pack_groups(&sizes, self.config.machines);
+        let violated = self.ledger.observe_loads(
+            loads.iter().copied(),
+            self.config.space,
+            self.label.as_deref(),
+        );
+        if violated && self.config.enforce_space {
+            panic!(
+                "MPC space budget exceeded in `{primitive}`: max packed load {} > s = {}",
+                loads.iter().max().copied().unwrap_or(0),
+                self.config.space
+            );
+        }
+        (groups, machine_of_group)
+    }
+
     /// Groups items by key, places every group on a single machine (greedy packing)
     /// and applies `f` to each group. The group key and its items are passed by
     /// value; the outputs of all groups are left distributed as packed.
@@ -446,30 +509,11 @@ impl Cluster {
     {
         let total = dv.len() as u64;
         let m = self.config.machines;
-
-        // Compute: gather groups, pick the packing.
-        let groups = compute::gather_groups(dv.parts, &key);
-        let sizes: Vec<usize> = groups.iter().map(|(_, items)| items.len()).collect();
-        let (machine_of_group, loads) = compute::pack_groups(&sizes, m);
-
-        // Account the shuffle and the packed load profile *before* running the
-        // groups, so strict clusters refuse oversized groups up front.
         self.ledger.apply(
             Superstep::new("group_map", costs::GROUP_MAP, total),
-            self.phase.as_deref(),
+            self.label.as_deref(),
         );
-        let violated = self.ledger.observe_loads(
-            loads.iter().copied(),
-            self.config.space,
-            self.phase.as_deref(),
-        );
-        if violated && self.config.enforce_space {
-            panic!(
-                "MPC space budget exceeded in `group_map`: max packed load {} > s = {}",
-                loads.iter().max().copied().unwrap_or(0),
-                self.config.space
-            );
-        }
+        let (groups, machine_of_group) = self.gather_packed(dv.parts, key, "group_map");
 
         // Compute: run every group concurrently, then collect results onto their
         // machines (a deterministic sequential scatter).
@@ -484,6 +528,55 @@ impl Cluster {
         }
         let out = DistVec::from_parts(parts);
         self.observe(&out, "group_map");
+        out
+    }
+
+    /// Like [`Cluster::group_map`], but the combined group outputs leave on the
+    /// wire: they are *rebalanced* across all machines instead of staying packed
+    /// on the machine that ran their group.
+    ///
+    /// This is the right primitive for **emission** steps — a group inspects its
+    /// items and produces messages addressed to the *next* superstep's groups
+    /// (e.g. the §3.3 routing replicating each union point to the subgrids whose
+    /// pierced interval contains its color, or the Hunt–Szymanski match-pair
+    /// join). In the model those messages are delivered directly to their
+    /// destinations: replication fans out over an `O(1)`-round broadcast tree
+    /// and no machine ever *holds* the full emitted set, so the honest resident
+    /// profile between the supersteps is the balanced one. The output volume is
+    /// charged as communication on top of the input shuffle; the bound that
+    /// remains the caller's obligation — and is checked by the next
+    /// key-grouping superstep — is that every *receiving* group fits in `s`.
+    pub fn group_map_rebalanced<T, K, U, FK, F>(
+        &mut self,
+        dv: DistVec<T>,
+        key: FK,
+        f: F,
+    ) -> DistVec<U>
+    where
+        T: Send,
+        K: Ord + Send + std::hash::Hash + Clone + Sync,
+        U: Send,
+        FK: Fn(&T) -> K + Sync,
+        F: Fn(&K, Vec<T>) -> Vec<U> + Sync + Send,
+    {
+        let total = dv.len() as u64;
+        let m = self.config.machines;
+        let (groups, _) = self.gather_packed(dv.parts, key, "group_map_rebalanced");
+
+        // Compute: run every group concurrently; outputs keep group-key order.
+        let emitted: Vec<U> = groups
+            .into_par_iter()
+            .map(|(k, items)| f(&k, items))
+            .collect::<Vec<Vec<U>>>()
+            .into_iter()
+            .flatten()
+            .collect();
+        let communication = total + emitted.len() as u64;
+        let out = DistVec::from_parts(compute::balance(emitted, m));
+        self.account(
+            Superstep::new("group_map_rebalanced", costs::GROUP_MAP, communication),
+            &out,
+        );
         out
     }
 
@@ -515,6 +608,37 @@ impl Cluster {
         out
     }
 
+    /// Balanced multicast: applies `f` to every item, flattening the results,
+    /// with the copies *leaving on the wire* — rebalanced across machines —
+    /// instead of piling up beside their source item.
+    ///
+    /// Use this when one item fans out into many addressed copies (an interval
+    /// broadcast): in the model the copies are created down an `O(1)`-depth
+    /// broadcast tree in which every relay sends and receives at most `s`
+    /// words per round, so no machine ever holds one item's full fan-out. The
+    /// receiving side's budget is the caller's obligation, checked by the next
+    /// key-grouping superstep. Charges [`costs::MULTICAST`] rounds and the
+    /// emitted volume as communication.
+    pub fn flat_map_rebalanced<T, U, F>(&mut self, dv: &DistVec<T>, f: F) -> DistVec<U>
+    where
+        T: Sync,
+        U: Send,
+        F: Fn(&T) -> Vec<U> + Sync,
+    {
+        let emitted: Vec<U> =
+            compute::per_part(&dv.parts, |_, part| part.iter().flat_map(&f).collect())
+                .into_iter()
+                .flatten()
+                .collect();
+        let communication = emitted.len() as u64;
+        let out = DistVec::from_parts(compute::balance(emitted, self.config.machines));
+        self.account(
+            Superstep::new("multicast", costs::MULTICAST, communication),
+            &out,
+        );
+        out
+    }
+
     /// Applies `f` to every item and flattens the results (purely local).
     pub fn flat_map<T, U, F>(&mut self, dv: &DistVec<T>, f: F) -> DistVec<U>
     where
@@ -537,7 +661,7 @@ impl Cluster {
     pub fn broadcast<T: Clone>(&mut self, value: T) -> T {
         self.ledger.apply(
             Superstep::new("broadcast", costs::BROADCAST, self.config.machines as u64),
-            self.phase.as_deref(),
+            self.label.as_deref(),
         );
         value
     }
@@ -707,6 +831,64 @@ mod tests {
         let dv = DistVec::from_parts(vec![items]);
         // All items share one group: cannot fit on a machine with space 10.
         let _ = cl.group_map(dv, |_| 0u32, |_, items| items);
+    }
+
+    #[test]
+    fn group_map_rebalanced_spreads_emitted_copies() {
+        // One group emitting far more than s must not overload any machine:
+        // the outputs leave on the wire, balanced.
+        let mut cl = Cluster::new(MpcConfig::new(400, 0.5).with_space(64).strict());
+        let items: Vec<u32> = (0..40).collect();
+        let dv = cl.distribute(items);
+        let out = cl.group_map_rebalanced(
+            dv,
+            |_| 0u32,
+            |_, items| {
+                items
+                    .into_iter()
+                    .flat_map(|v| (0..10).map(move |c| (v, c)))
+                    .collect::<Vec<_>>()
+            },
+        );
+        assert!(out.max_load() <= cl.config().space);
+        let mut flat = out.into_inner();
+        flat.sort_unstable();
+        assert_eq!(flat.len(), 400);
+        assert_eq!(flat[0], (0, 0));
+        assert_eq!(flat[399], (39, 9));
+        assert_eq!(cl.ledger().primitive_counts["group_map_rebalanced"], 1);
+    }
+
+    #[test]
+    fn flat_map_rebalanced_multicast_is_balanced_and_charged() {
+        let mut cl = Cluster::new(MpcConfig::new(100, 0.5).with_space(32).strict());
+        let dv = cl.distribute((0..20u32).collect());
+        let rounds_before = cl.rounds();
+        // Every item fans out 15-fold: piled beside its source this would
+        // overload a machine; balanced it fits.
+        let out = cl.flat_map_rebalanced(&dv, |&v| (0..15u32).map(|c| (v, c)).collect());
+        assert_eq!(out.len(), 300);
+        assert!(out.max_load() <= cl.config().space);
+        assert_eq!(cl.rounds() - rounds_before, costs::MULTICAST);
+        assert!(cl.ledger().communication >= 300);
+    }
+
+    #[test]
+    fn phase_scope_prefixes_inner_phase_labels() {
+        let mut cl = cluster(500, 0.5);
+        cl.set_phase_scope(Some("outer-L1"));
+        cl.set_phase(Some("inner"));
+        let dv = cl.distribute((0..500u32).collect());
+        let _ = cl.sort_by_key(dv, |&x| x);
+        cl.set_phase(None::<String>);
+        cl.charge_rounds("extra", 2); // attributed to the bare scope
+        cl.set_phase_scope(None::<String>);
+        cl.set_phase(Some("inner"));
+        cl.charge_rounds("extra", 1); // unscoped phase
+        let ledger = cl.ledger();
+        assert_eq!(ledger.rounds_by_phase["outer-L1/inner"], costs::SORT);
+        assert_eq!(ledger.rounds_by_phase["outer-L1"], 2);
+        assert_eq!(ledger.rounds_by_phase["inner"], 1);
     }
 
     #[test]

@@ -39,3 +39,9 @@ pub const GROUP_MAP: u64 = SORT + PREFIX_SUM + SHUFFLE;
 
 /// Rounds for computing an inverse permutation (Lemma 2.3): a single shuffle.
 pub const INVERSE_PERMUTATION: u64 = SHUFFLE;
+
+/// Rounds for a balanced multicast (each item expands into addressed copies
+/// that leave on the wire): a broadcast-tree fan-out plus the delivery shuffle.
+/// The tree depth is `O(log_s k)` for fan-out `k`; with `k ≤ n = s^{1/(1−δ)}`
+/// (constant `δ`) that is `O(1)`, modelled by one fan-out round.
+pub const MULTICAST: u64 = 1 + SHUFFLE;

@@ -91,6 +91,26 @@ impl SeaweedKernel {
         }
     }
 
+    /// Budget-bounded streaming comb: combs `y` in column chunks of at most
+    /// `max_cols` columns and composes the chunk kernels left to right with the
+    /// concatenation law `P_{X, Y₁Y₂} = (P₁ ⊕ I) ⊡ (I ⊕ P₂)`.
+    ///
+    /// Direct combing materializes a crossing bitset of `(m + n)²` bits; the
+    /// streamed variant touches only `(m + max_cols)²` bits at a time, so a
+    /// machine with a word budget `s` can comb arbitrarily long `y` against a
+    /// short `x` without ever holding the full quadratic history. The result is
+    /// **identical** to [`SeaweedKernel::comb`] (the composition law is exact).
+    pub fn comb_streamed(x: &[u32], y: &[u32], max_cols: usize) -> Self {
+        let chunk = max_cols.max(1);
+        if y.len() <= chunk {
+            return Self::comb(x, y);
+        }
+        y.chunks(chunk)
+            .map(|block| Self::comb(x, block))
+            .reduce(|acc, next| compose_horizontal(&acc, &next))
+            .expect("y has at least one chunk")
+    }
+
     /// Parallel block combing: splits `Y` into one block per thread, combs the
     /// blocks concurrently, and merges the block kernels left to right with the
     /// concatenation law `P_{X, Y₁Y₂} = (P₁ ⊕ I) ⊡ (I ⊕ P₂)`.
@@ -103,14 +123,20 @@ impl SeaweedKernel {
         /// Below this many columns per block the O(mn) combing is cheaper than
         /// the O((m+n) log(m+n)) merge multiplications it would save.
         const MIN_BLOCK: usize = 256;
+        /// Each block is itself combed in streamed sub-chunks of at most this
+        /// many columns, capping the crossing bitset at `(m + 4096)²` bits no
+        /// matter how long `y` is.
+        const MAX_COMB_COLS: usize = 4096;
         let threads = rayon::current_num_threads();
         if threads <= 1 || y.len() < 2 * MIN_BLOCK {
-            return Self::comb(x, y);
+            return Self::comb_streamed(x, y, MAX_COMB_COLS);
         }
         let block = y.len().div_ceil(threads).max(MIN_BLOCK);
         let blocks: Vec<&[u32]> = y.chunks(block).collect();
-        let kernels: Vec<SeaweedKernel> =
-            blocks.into_par_iter().map(|b| Self::comb(x, b)).collect();
+        let kernels: Vec<SeaweedKernel> = blocks
+            .into_par_iter()
+            .map(|b| Self::comb_streamed(x, b, MAX_COMB_COLS))
+            .collect();
         kernels
             .into_iter()
             .reduce(|acc, next| compose_horizontal(&acc, &next))
@@ -400,6 +426,28 @@ mod tests {
             let y: Vec<u32> = y1.iter().chain(y2.iter()).copied().collect();
             let direct = SeaweedKernel::comb(&x, &y);
             assert_eq!(composed, direct, "x={x:?} y1={y1:?} y2={y2:?}");
+        }
+    }
+
+    #[test]
+    fn comb_streamed_equals_direct_combing() {
+        // Across chunk sizes (smaller than, equal to, larger than |y|) the
+        // streamed composition must reproduce the direct comb exactly.
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..10 {
+            let m = rng.gen_range(1..10);
+            let n = rng.gen_range(1..40);
+            let alphabet = rng.gen_range(2..6);
+            let x = random_string(m, alphabet, &mut rng);
+            let y = random_string(n, alphabet, &mut rng);
+            let direct = SeaweedKernel::comb(&x, &y);
+            for chunk in [1usize, 3, 7, n, n + 5] {
+                assert_eq!(
+                    SeaweedKernel::comb_streamed(&x, &y, chunk),
+                    direct,
+                    "chunk={chunk} x={x:?} y={y:?}"
+                );
+            }
         }
     }
 

@@ -61,6 +61,38 @@ pub fn lis_kernel_permutation(perm: &[u32]) -> SeaweedKernel {
     compose_horizontal(&k_lo, &k_hi)
 }
 
+/// Budget-bounded streaming LIS kernel: builds the kernel of a permutation of
+/// `0..n` by combing consecutive sub-blocks of at most `chunk` elements and
+/// composing them left to right.
+///
+/// Each sub-block is first relabelled to its own compact alphabet, so the
+/// direct comb touches a `chunk × chunk` grid with `2·chunk` seaweeds — a
+/// crossing bitset of `(2·chunk)²` bits — instead of the `(2n)²` bits a direct
+/// comb of the whole permutation would materialize. The sub-kernel is inflated
+/// back to the full alphabet ([`SeaweedKernel::inflate_rows`]) and folded into
+/// the accumulator with one `⊡` per sub-block, mirroring the §4.2 block
+/// decomposition on a single machine. Working set: `O(n + chunk²/w)` words.
+///
+/// The result is identical to [`lis_kernel_permutation`]; this is the
+/// construction the MPC base blocks use so a machine's peak footprint stays
+/// within its space budget.
+pub fn lis_kernel_permutation_streamed(perm: &[u32], chunk: usize) -> SeaweedKernel {
+    let n = perm.len();
+    let chunk = chunk.max(1);
+    if n <= chunk {
+        let x: Vec<u32> = (0..n as u32).collect();
+        return SeaweedKernel::comb(&x, perm);
+    }
+    perm.chunks(chunk)
+        .map(|sub| {
+            let (relabelled, values) = relabel(sub);
+            let x: Vec<u32> = (0..sub.len() as u32).collect();
+            SeaweedKernel::comb(&x, &relabelled).inflate_rows(&values, n)
+        })
+        .reduce(|acc, next| compose_horizontal(&acc, &next))
+        .expect("perm has at least one chunk")
+}
+
 /// Relabels a sequence of distinct values to ranks `0..len`, returning the rank
 /// sequence and the sorted original values.
 fn relabel(seq: &[u32]) -> (Vec<u32>, Vec<usize>) {
@@ -161,6 +193,24 @@ mod tests {
             let direct = SeaweedKernel::comb(&x, &perm);
             let dandc = lis_kernel_permutation(&perm);
             assert_eq!(dandc, direct, "n={n}");
+        }
+    }
+
+    #[test]
+    fn streamed_kernel_equals_divide_and_conquer() {
+        // The budget-bounded streamed construction (relabelled sub-blocks,
+        // left-fold composition) must reproduce the d&c kernel exactly.
+        let mut rng = StdRng::seed_from_u64(8);
+        for n in [1usize, 2, 5, 33, 64, 100, 150] {
+            let perm = random_permutation(n, &mut rng);
+            let expected = lis_kernel_permutation(&perm);
+            for chunk in [1usize, 4, 13, 32, n.max(1), n + 7] {
+                assert_eq!(
+                    lis_kernel_permutation_streamed(&perm, chunk),
+                    expected,
+                    "n={n} chunk={chunk}"
+                );
+            }
         }
     }
 

@@ -54,9 +54,9 @@ fn main() {
         let mut seq: Vec<u32> = (0..n as u32).collect();
         seq.shuffle(&mut rng);
         for &delta in &[0.4, 0.6] {
-            // The LIS block kernels overshoot the budget by a constant factor
-            // (see ROADMAP); record, don't panic.
-            let mut cluster = Cluster::new(MpcConfig::lenient(n, delta));
+            // Strict budget: the space-conformant LIS pipeline must not
+            // overshoot (a violation panics).
+            let mut cluster = Cluster::new(MpcConfig::new(n, delta));
             let outcome = lis_kernel_mpc(&mut cluster, &seq, &MulParams::default());
             let rounds = cluster.rounds();
             println!(

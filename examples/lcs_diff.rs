@@ -53,9 +53,10 @@ fn main() {
         let hs = lcs_via_lis(&a, &b);
         assert_eq!(dp, hs);
 
-        // MPC answer. The corollary's space regime is Õ(n²) total; with a small
-        // vocabulary collision rate the actual pair count stays near-linear.
-        let mut cluster = Cluster::new(MpcConfig::lenient(a.len().max(b.len()), 0.5));
+        // MPC answer on a strict cluster sized for the corollary's Õ(n²)
+        // total-space regime; with a small vocabulary collision rate the
+        // actual pair count (and hence every load) stays near-linear.
+        let mut cluster = Cluster::new(MpcConfig::new(a.len() * b.len(), 0.5));
         let (mpc, pairs) = lcs_mpc(&mut cluster, &a, &b, &MulParams::default());
         assert_eq!(mpc, dp);
 

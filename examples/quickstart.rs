@@ -40,7 +40,7 @@ fn main() {
 
     // 3. The paper's MPC algorithm on a simulated fully-scalable cluster.
     let start = std::time::Instant::now();
-    let mut cluster = Cluster::new(MpcConfig::lenient(n, delta));
+    let mut cluster = Cluster::new(MpcConfig::new(n, delta));
     let outcome = lis_kernel_mpc(&mut cluster, &series, &MulParams::default());
     println!(
         "MPC (δ = {delta})         : LIS = {:6}   ({:?})",

@@ -7,10 +7,14 @@
 //! [`ThreadPoolBuilder`]/[`ThreadPool`] — and, unlike the original sequential
 //! stand-in, actually executes it in parallel:
 //!
-//! * every parallel call opens a [`std::thread::scope`], splits the work into a
-//!   few contiguous chunks per thread and lets scoped workers claim chunks from
-//!   an atomic counter (dynamic load balancing, no `unsafe`, no persistent
-//!   worker threads);
+//! * parallel calls are served by a **persistent pool of parked workers**
+//!   (spawned on demand, reused across calls — fine-grained supersteps pay a
+//!   condvar notify instead of a thread spawn); each call splits the work into
+//!   a few contiguous chunks per thread and lets the participating workers
+//!   claim chunks from an atomic counter (dynamic load balancing). Lending the
+//!   per-call borrowed closure to the long-lived workers uses one confined
+//!   `unsafe` lifetime erasure in `pool.rs`, made sound by the submit/reclaim/
+//!   wait protocol documented there;
 //! * the thread count honours `RAYON_NUM_THREADS`, a process-wide
 //!   [`ThreadPoolBuilder::build_global`] override, and a scope-local
 //!   [`ThreadPool::install`] override (checked in reverse order); with a count
@@ -29,7 +33,7 @@
 //! manifest; no caller source changes are needed.
 
 #![warn(missing_docs)]
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 
 use core::cmp::Ordering;
 

@@ -1,11 +1,16 @@
-//! Thread-count resolution and the scoped work-chunking executor.
+//! Thread-count resolution and the persistent work-chunking executor.
 //!
-//! There is no persistent worker pool: every parallel call opens a
-//! [`std::thread::scope`], spawns up to `num_threads - 1` workers (the calling
-//! thread is the remaining worker) and lets them claim contiguous work chunks
-//! from a shared atomic counter. This keeps the shim free of `unsafe` while
-//! still providing dynamic load balancing — a worker that drew a cheap chunk
-//! simply claims the next one.
+//! Parallel calls are served by a **long-lived pool of parked workers**: the
+//! first call that needs helpers spawns them (up to the requested count; the
+//! pool grows on demand and threads persist, parked on a condvar, between
+//! calls), so fine-grained supersteps pay a notify instead of a
+//! `std::thread::scope` spawn. Each call publishes one *job* — a borrowed
+//! closure in which workers claim contiguous work chunks from a shared atomic
+//! counter (dynamic load balancing: a worker that drew a cheap chunk simply
+//! claims the next one). The calling thread participates too, then reclaims
+//! any helper tickets that no worker picked up and blocks until every started
+//! helper has finished — which is what makes lending the borrowed closure to
+//! the persistent threads sound (see [`JobHandle`]).
 //!
 //! The effective thread count is resolved, in priority order, from
 //!
@@ -18,15 +23,16 @@
 //! Nested parallelism *divides* the budget instead of multiplying it: each
 //! worker's scope-local count is its share of the caller's count (likewise the
 //! two sides of [`crate::join`]), so however deeply parallel regions nest, the
-//! total number of live threads stays around the configured budget. With a
-//! resolved count of 1 every entry point degrades to plain sequential
-//! execution on the calling thread — this is the mode the
-//! `RAYON_NUM_THREADS=1` CI leg pins.
+//! total number of concurrently *busy* threads stays around the configured
+//! budget. With a resolved count of 1 every entry point degrades to plain
+//! sequential execution on the calling thread — this is the mode the
+//! `RAYON_NUM_THREADS=1` CI leg pins, and it never touches the pool.
 
 use std::cell::Cell;
+use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Mutex, OnceLock};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
 /// Process-wide thread count set by `ThreadPoolBuilder::build_global` (0 = unset).
 static GLOBAL_NUM_THREADS: AtomicUsize = AtomicUsize::new(0);
@@ -90,6 +96,170 @@ pub(crate) fn with_installed_num_threads<R>(n: usize, f: impl FnOnce() -> R) -> 
     f()
 }
 
+// ---------------------------------------------------------------------------
+// The persistent worker pool
+// ---------------------------------------------------------------------------
+
+/// One published parallel call, lent to the pool's workers for its duration.
+///
+/// `f` is a *borrowed* closure whose lifetime has been erased (see
+/// [`WorkerPool::run`]): it stays valid because `pending` counts one unit per
+/// helper ticket — a worker runs the job and then decrements; the submitter
+/// reclaims every unclaimed ticket and then blocks in [`JobHandle::wait`]
+/// until `pending` reaches zero. No worker can touch `f` after `wait` returns.
+struct JobHandle {
+    f: &'static (dyn Fn() + Sync),
+    pending: Mutex<usize>,
+    done: Condvar,
+}
+
+impl JobHandle {
+    /// Runs the job once on this thread, then signs off one ticket (also on
+    /// panic — the work-claiming closure catches per-piece panics itself, this
+    /// catch is only a backstop so a worker never unwinds out of its loop).
+    fn run(&self) {
+        struct SignOff<'a>(&'a JobHandle);
+        impl Drop for SignOff<'_> {
+            fn drop(&mut self) {
+                self.0.sign_off(1);
+            }
+        }
+        let _guard = SignOff(self);
+        let _ = catch_unwind(AssertUnwindSafe(self.f));
+    }
+
+    fn sign_off(&self, tickets: usize) {
+        let mut pending = self.pending.lock().expect("job state poisoned");
+        *pending -= tickets;
+        if *pending == 0 {
+            self.done.notify_all();
+        }
+    }
+
+    fn wait(&self) {
+        let mut pending = self.pending.lock().expect("job state poisoned");
+        while *pending > 0 {
+            pending = self.done.wait(pending).expect("job state poisoned");
+        }
+    }
+}
+
+#[derive(Default)]
+struct PoolState {
+    /// Helper tickets not yet claimed by a worker (one entry per helper asked
+    /// for; several tickets of one job coexist so several workers join it).
+    tickets: VecDeque<Arc<JobHandle>>,
+    /// Workers currently parked in [`WorkerPool::next_job`].
+    idle: usize,
+}
+
+/// The process-wide pool of parked worker threads.
+#[derive(Default)]
+struct WorkerPool {
+    state: Mutex<PoolState>,
+    work_ready: Condvar,
+}
+
+impl WorkerPool {
+    fn global() -> &'static WorkerPool {
+        static POOL: OnceLock<WorkerPool> = OnceLock::new();
+        POOL.get_or_init(WorkerPool::default)
+    }
+
+    /// Publishes `f` as a job with `helpers` tickets, runs it on the calling
+    /// thread as well, and returns once every participating worker is done.
+    ///
+    /// `f` must be self-contained (install its own thread-count share): it
+    /// runs bare on whichever parked worker claims a ticket.
+    fn run(&'static self, helpers: usize, f: &(dyn Fn() + Sync)) {
+        if helpers == 0 {
+            f();
+            return;
+        }
+        // SAFETY (lifetime erasure): the reference is only reachable through
+        // `JobHandle`s accounted by `pending`; the `Leave` guard below blocks —
+        // on the normal exit *and* when `f` unwinds on this thread — until all
+        // started workers signed off and all unstarted tickets were reclaimed,
+        // so no worker dereferences `f` after this frame is torn down.
+        #[allow(unsafe_code)]
+        let erased: &'static (dyn Fn() + Sync) =
+            unsafe { std::mem::transmute::<&(dyn Fn() + Sync), &'static (dyn Fn() + Sync)>(f) };
+        let job = Arc::new(JobHandle {
+            f: erased,
+            pending: Mutex::new(helpers),
+            done: Condvar::new(),
+        });
+        {
+            let mut state = self.state.lock().expect("pool state poisoned");
+            for _ in 0..helpers {
+                state.tickets.push_back(Arc::clone(&job));
+            }
+        }
+        // Grow the pool when fewer workers are parked than tickets posted
+        // (outside the lock: a failed spawn must not poison the pool — the
+        // submitter reclaims whatever no worker picks up, so running with
+        // fewer helpers is always sound).
+        let needed = {
+            let state = self.state.lock().expect("pool state poisoned");
+            helpers.saturating_sub(state.idle)
+        };
+        for _ in 0..needed {
+            if std::thread::Builder::new()
+                .name("rayon-shim-worker".into())
+                .spawn(move || self.worker_loop())
+                .is_err()
+            {
+                break; // Resource exhaustion: proceed with fewer helpers.
+            }
+        }
+        self.work_ready.notify_all();
+
+        /// Reclaims the job's unclaimed tickets and waits for the started
+        /// ones — run via `Drop` so it also protects the unwinding path.
+        struct Leave<'a> {
+            pool: &'static WorkerPool,
+            job: &'a Arc<JobHandle>,
+        }
+        impl Drop for Leave<'_> {
+            fn drop(&mut self) {
+                let reclaimed = {
+                    let mut state = self.pool.state.lock().expect("pool state poisoned");
+                    let before = state.tickets.len();
+                    state.tickets.retain(|t| !Arc::ptr_eq(t, self.job));
+                    before - state.tickets.len()
+                };
+                if reclaimed > 0 {
+                    self.job.sign_off(reclaimed);
+                }
+                self.job.wait();
+            }
+        }
+        let _leave = Leave {
+            pool: self,
+            job: &job,
+        };
+
+        f();
+    }
+
+    fn worker_loop(&'static self) {
+        loop {
+            let job = {
+                let mut state = self.state.lock().expect("pool state poisoned");
+                loop {
+                    if let Some(job) = state.tickets.pop_front() {
+                        break job;
+                    }
+                    state.idle += 1;
+                    state = self.work_ready.wait(state).expect("pool state poisoned");
+                    state.idle -= 1;
+                }
+            };
+            job.run();
+        }
+    }
+}
+
 /// Applies `f` to every piece, in parallel, returning the results in piece
 /// order. Panics in workers are captured and re-raised on the calling thread
 /// with their original payload (the earliest piece wins, deterministically).
@@ -110,7 +280,7 @@ where
     let next = AtomicUsize::new(0);
     // The caller's thread budget is *divided* among the workers (not copied):
     // nested parallel calls inside a piece may only use this worker's share,
-    // so the total live thread count stays ~budget no matter how deeply
+    // so the total busy thread count stays ~budget no matter how deeply
     // parallel regions nest. With fewer pieces than budget, the spare threads
     // flow into the pieces' own nested parallelism.
     let share = (current_num_threads() / threads).max(1);
@@ -135,12 +305,8 @@ where
         }
     };
 
-    std::thread::scope(|scope| {
-        for _ in 1..threads {
-            scope.spawn(|| with_installed_num_threads(share, worker));
-        }
-        with_installed_num_threads(share, worker);
-    });
+    let job = || with_installed_num_threads(share, worker);
+    WorkerPool::global().run(threads - 1, &job);
 
     let mut out = Vec::with_capacity(results.len());
     let mut panic: Option<Box<dyn std::any::Any + Send>> = None;

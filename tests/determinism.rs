@@ -45,10 +45,10 @@ fn workload() -> (PermutationMatrix, Ledger, usize, SeaweedKernel, Ledger) {
     let product = monge_mpc::mul(&mut mul_cluster, &a, &b, &params);
     let mul_ledger = mul_cluster.ledger().clone();
 
-    // LIS with several merge levels (small space budget forces depth; the block
-    // kernels overshoot the tiny budget by design, so record-only enforcement).
+    // LIS with several merge levels (a large δ shrinks the strict budget and
+    // forces depth; the space-conformant pipeline runs violation-free).
     let seq = noisy_sequence(600, 0xC0DE);
-    let mut lis_cluster = Cluster::new(MpcConfig::lenient(seq.len(), 0.5).with_space(48));
+    let mut lis_cluster = Cluster::new(MpcConfig::new(seq.len(), 0.75));
     let outcome = lis_kernel_mpc(&mut lis_cluster, &seq, &MulParams::default());
     let lis_ledger = lis_cluster.ledger().clone();
 

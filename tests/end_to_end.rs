@@ -31,11 +31,10 @@ fn all_multiplication_engines_agree() {
         assert_eq!(mul_steady_ant(&a, &b), dense);
         assert_eq!(mul_multiway(&a, &b, 4, 16), dense);
 
-        let mut cluster = Cluster::new(MpcConfig::lenient(n, 0.5).with_space(24));
-        let params = MulParams::default()
-            .with_local_threshold(16)
-            .with_h(3)
-            .with_g(8);
+        // Strict cluster at a large δ: the shrunken budget forces several
+        // split/combine levels at the paper's own parameters.
+        let mut cluster = Cluster::new(MpcConfig::new(n, 0.75));
+        let params = MulParams::default();
         assert_eq!(monge_mpc::mul(&mut cluster, &a, &b, &params), dense);
         assert!(verify_product(&a, &b, &dense));
     }
@@ -60,9 +59,10 @@ fn mpc_lis_agrees_with_every_sequential_path() {
         let patience = lis_length_patience(&seq);
         assert_eq!(seaweed_lis::lis::lis_length(&seq), patience);
 
-        let mut cluster = Cluster::new(MpcConfig::lenient(n, 0.5).with_space(48));
+        let mut cluster = Cluster::new(MpcConfig::new(n, 0.7));
         let outcome = lis_mpc::lis_kernel_mpc(&mut cluster, &seq, &MulParams::default());
         assert_eq!(outcome.length, patience);
+        assert_eq!(cluster.ledger().space_violations, 0);
 
         // Semi-local agreement between the MPC kernel and the sequential index.
         let semi = SemiLocalLis::new(&seq);
@@ -83,7 +83,7 @@ fn mpc_lcs_agrees_with_dp() {
         let n = rng.gen_range(20..120);
         let a: Vec<u32> = (0..m).map(|_| rng.gen_range(0..12)).collect();
         let b: Vec<u32> = (0..n).map(|_| rng.gen_range(0..12)).collect();
-        let mut cluster = Cluster::new(MpcConfig::lenient(m * n, 0.5).with_space(64));
+        let mut cluster = Cluster::new(MpcConfig::new(m * n, 0.6));
         let got = lis_mpc::lcs_length_mpc(&mut cluster, &a, &b, &MulParams::default());
         assert_eq!(got, lcs_length_dp(&a, &b));
     }
@@ -100,11 +100,8 @@ fn kernel_composition_through_mpc_multiplication() {
     let k2 = SeaweedKernel::comb(&x, &y2);
     let (p1, p2) = seaweed_lis::kernel::compose_operands(&k1, &k2);
 
-    let mut cluster = Cluster::new(MpcConfig::lenient(p1.size(), 0.5).with_space(12));
-    let params = MulParams::default()
-        .with_local_threshold(8)
-        .with_h(2)
-        .with_g(6);
+    let mut cluster = Cluster::new(MpcConfig::new(p1.size(), 0.75));
+    let params = MulParams::default();
     let product = monge_mpc::mul(&mut cluster, &p1, &p2, &params);
     let composed = seaweed_lis::kernel::compose_from_product(&k1, &k2, product);
 
@@ -166,7 +163,7 @@ fn deterministic_across_runs() {
     let n = 300;
     let seq: Vec<u32> = (0..n).map(|_| rng.gen_range(0..1000)).collect();
     let run = || {
-        let mut cluster = Cluster::new(MpcConfig::lenient(n, 0.5).with_space(32));
+        let mut cluster = Cluster::new(MpcConfig::new(n, 0.7));
         let out = lis_mpc::lis_kernel_mpc(&mut cluster, &seq, &MulParams::default());
         (
             out.length,
@@ -176,4 +173,46 @@ fn deterministic_across_runs() {
         )
     };
     assert_eq!(run(), run());
+}
+
+#[test]
+fn lis_and_lcs_record_zero_violations_in_every_phase() {
+    // Regression pin for the Theorem 1.3 space conformance: run the pipelines
+    // in record-only mode (so an overshoot would be *counted*, not panic) and
+    // assert the per-phase violation breakdown stays empty — in particular for
+    // every `lis-*` phase the merge levels create.
+    let mut rng = StdRng::seed_from_u64(108);
+    for &delta in &[0.5, 0.75] {
+        let n = 1 << 12;
+        let seq: Vec<u32> = (0..n).map(|_| rng.gen_range(0..n as u32)).collect();
+        let mut cluster = Cluster::new(MpcConfig::new(n, delta).recording());
+        let outcome = lis_mpc::lis_kernel_mpc(&mut cluster, &seq, &MulParams::default());
+        assert!(
+            outcome.levels >= 1,
+            "budget at δ={delta} must force merging"
+        );
+        let ledger = cluster.ledger();
+        assert_eq!(ledger.space_violations, 0, "violations at δ={delta}");
+        assert!(
+            ledger.violations_by_phase.is_empty(),
+            "per-phase violations at δ={delta}"
+        );
+        for phase in ["lis-rank", "lis-base", "lis-merge-L1/relabel"] {
+            assert!(
+                ledger.rounds_by_phase.contains_key(phase),
+                "expected ledger phase {phase} at δ={delta}"
+            );
+        }
+    }
+
+    let a: Vec<u32> = (0..96).map(|_| rng.gen_range(0..8)).collect();
+    let b: Vec<u32> = (0..96).map(|_| rng.gen_range(0..8)).collect();
+    let mut cluster = Cluster::new(MpcConfig::new(96 * 96, 0.6).recording());
+    let _ = lis_mpc::lcs::lcs_mpc(&mut cluster, &a, &b, &MulParams::default());
+    assert_eq!(cluster.ledger().space_violations, 0);
+    assert!(cluster.ledger().violations_by_phase.is_empty());
+    assert!(cluster
+        .ledger()
+        .rounds_by_phase
+        .contains_key("lcs-match-pairs"));
 }

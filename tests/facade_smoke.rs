@@ -50,7 +50,7 @@ fn facade_paths_stay_wired() {
     assert_eq!(lis_kernel(&seq).lcs_window(0, seq.len()), lis_length(&seq));
     assert_eq!(SemiLocalLis::new(&seq).lis_window(0, seq.len()), 4);
 
-    let mut cluster = Cluster::new(MpcConfig::new(8, 0.5).with_space(16));
+    let mut cluster = Cluster::new(MpcConfig::new(8, 0.5));
     assert_eq!(lis_length_mpc(&mut cluster, &seq, &MulParams::default()), 4);
     let outcome: MpcLisOutcome = lis_kernel_mpc(&mut cluster, &seq, &MulParams::default());
     assert_eq!(outcome.length, 4);
@@ -58,12 +58,12 @@ fn facade_paths_stay_wired() {
 
     let (x, y) = ([1u32, 2, 3, 2], [2u32, 1, 2, 3]);
     assert_eq!(lcs_via_lis(&x, &y), lcs_length_dp(&x, &y));
-    let mut cluster = Cluster::new(MpcConfig::new(16, 0.5).with_space(32));
+    let mut cluster = Cluster::new(MpcConfig::new(16, 0.5));
     assert_eq!(
         lcs_length_mpc(&mut cluster, &x, &y, &MulParams::default()),
         lcs_length_dp(&x, &y)
     );
-    let mut cluster = Cluster::new(MpcConfig::new(16, 0.5).with_space(32));
+    let mut cluster = Cluster::new(MpcConfig::new(16, 0.5));
     let (lcs_len, _match_pairs) = lcs_mpc(&mut cluster, &x, &y, &MulParams::default());
     assert_eq!(lcs_len, lcs_length_dp(&x, &y));
 

@@ -133,22 +133,46 @@ proptest! {
         prop_assert_eq!(lis_length(&seq), lis_length_patience(&seq));
     }
 
-    /// The MPC LIS equals patience sorting, across space budgets (recursion depths).
+    /// The MPC LIS equals patience sorting on *strict* clusters, across δ and
+    /// space budgets (recursion depths): every case doubles as a
+    /// zero-violation assertion, since an overshoot panics.
     #[test]
-    fn mpc_lis_matches_patience(seq in sequence(150, 50), space in 8usize..64) {
+    fn mpc_lis_matches_patience_strict(seq in sequence(150, 50),
+                                       delta_tenths in 3usize..9,
+                                       space_mult in 1usize..4) {
         let n = seq.len().max(4);
-        let mut cluster = Cluster::new(MpcConfig::lenient(n, 0.5).with_space(space));
+        let delta = delta_tenths as f64 / 10.0;
+        let base = MpcConfig::new(n, delta);
+        let space = base.space * space_mult;
+        let mut cluster = Cluster::new(base.with_space(space));
         let got = lis_mpc::lis_length_mpc(&mut cluster, &seq, &MulParams::default());
         prop_assert_eq!(got, lis_length_patience(&seq));
+        prop_assert_eq!(cluster.ledger().space_violations, 0);
     }
 
-    /// Hunt–Szymanski through the MPC pipeline equals the DP LCS.
+    /// The full semi-local MPC LIS kernel equals the sequential seaweed
+    /// divide-and-conquer baseline, bit for bit, on strict clusters.
     #[test]
-    fn mpc_lcs_matches_dp(a in sequence(40, 6), b in sequence(40, 6)) {
+    fn mpc_lis_kernel_matches_sequential_strict(seq in sequence(120, 40),
+                                                delta_tenths in 4usize..9) {
+        prop_assume!(!seq.is_empty());
+        let delta = delta_tenths as f64 / 10.0;
+        let mut cluster = Cluster::new(MpcConfig::new(seq.len().max(4), delta));
+        let outcome = lis_mpc::lis_kernel_mpc(&mut cluster, &seq, &MulParams::default());
+        prop_assert_eq!(outcome.kernel, seaweed_lis::lis::lis_kernel(&seq));
+    }
+
+    /// Hunt–Szymanski through the MPC pipeline equals the DP LCS on strict
+    /// clusters sized for the corollary's Õ(n²) total-space regime.
+    #[test]
+    fn mpc_lcs_matches_dp_strict(a in sequence(40, 6), b in sequence(40, 6),
+                                 delta_tenths in 3usize..8) {
         let total = (a.len() * b.len()).max(4);
-        let mut cluster = Cluster::new(MpcConfig::lenient(total, 0.5).with_space(32));
+        let delta = delta_tenths as f64 / 10.0;
+        let mut cluster = Cluster::new(MpcConfig::new(total, delta));
         let got = lis_mpc::lcs_length_mpc(&mut cluster, &a, &b, &MulParams::default());
         prop_assert_eq!(got, lcs_length_dp(&a, &b));
+        prop_assert_eq!(cluster.ledger().space_violations, 0);
     }
 
     /// The space-conformant tree grid phase and the gathering reference oracle are

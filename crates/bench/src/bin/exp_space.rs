@@ -16,13 +16,18 @@ use bench_suite::{
     json_envelope, noisy_trend, random_permutation, random_sequence, ExpOpts, Table,
 };
 use lis_mpc::lcs::lcs_mpc;
-use lis_mpc::lis_length_mpc;
+use lis_mpc::{lis_length_mpc, lis_witness_mpc};
 use monge_mpc::MulParams;
 use mpc_runtime::{Cluster, Ledger, MpcConfig};
 
 fn main() {
     let opts = ExpOpts::from_env();
     let n = opts.max_n.unwrap_or(1 << 14);
+    // Witness-phase aggregates across δ (the CI strict leg asserts these via
+    // the JSON envelope: phases present, zero violations, rounds ≤ 2×).
+    let mut witness_phases = 0usize;
+    let mut witness_phase_violations = 0u64;
+    let mut witness_round_ratio: f64 = 0.0;
     let mut table = Table::new(vec![
         "workload",
         "δ",
@@ -61,8 +66,39 @@ fn main() {
         // LIS.
         let seq = noisy_trend(n, (n / 8) as u32, 3);
         let mut cluster = Cluster::new(MpcConfig::new(n, delta).recording());
-        let _ = lis_length_mpc(&mut cluster, &seq, &MulParams::default());
+        let lis_len = lis_length_mpc(&mut cluster, &seq, &MulParams::default());
+        let lis_rounds = cluster.rounds();
         push_row(&mut table, "LIS (Thm 1.3)", &cluster, n);
+
+        // LIS with witness recovery: the top-down traceback (lis-witness-*
+        // phases) must stay violation-free and cost ≤ 2× the length-only rounds.
+        let mut cluster = Cluster::new(MpcConfig::new(n, delta).recording());
+        let outcome = lis_witness_mpc(&mut cluster, &seq, &MulParams::default());
+        let witness = outcome.witness.expect("witness requested");
+        assert_eq!(
+            witness.len(),
+            lis_len,
+            "witness length mismatch at δ = {delta}"
+        );
+        assert!(
+            witness.windows(2).all(|w| seq[w[0]] < seq[w[1]]),
+            "invalid witness at δ = {delta}"
+        );
+        let ledger = cluster.ledger();
+        witness_phases += ledger
+            .rounds_by_phase
+            .keys()
+            .filter(|k| k.starts_with("lis-witness-"))
+            .count();
+        witness_phase_violations += ledger
+            .violations_by_phase
+            .iter()
+            .filter(|(k, _)| k.starts_with("lis-witness-"))
+            .map(|(_, &v)| v)
+            .sum::<u64>();
+        witness_round_ratio =
+            witness_round_ratio.max(cluster.rounds() as f64 / lis_rounds.max(1) as f64);
+        push_row(&mut table, "LIS wit (Cor 1.3.2)", &cluster, n);
 
         // LCS: strings of length √n so the worst-case pair count matches the
         // n-item total-space budget of the other rows.
@@ -76,7 +112,21 @@ fn main() {
     if opts.json {
         println!(
             "{}",
-            json_envelope("exp_space", &[("rows", table.render_json())])
+            json_envelope(
+                "exp_space",
+                &[
+                    ("rows", table.render_json()),
+                    ("witness_phases", witness_phases.to_string()),
+                    (
+                        "witness_phase_violations",
+                        witness_phase_violations.to_string()
+                    ),
+                    (
+                        "witness_max_round_ratio",
+                        format!("{witness_round_ratio:.3}")
+                    ),
+                ]
+            )
         );
         return;
     }
@@ -87,6 +137,8 @@ fn main() {
          Every workload runs the space-conformant pipeline (H-ary tree grid phase, Lemma 3.12\n\
          pierced ordinal-multicast routing, budget-sized LIS base blocks, distributed\n\
          Hunt–Szymanski join) and must show zero violations at every δ — the CI strict leg\n\
-         asserts this for the ⊡ rows and the LIS/LCS rows alike."
+         asserts this for the ⊡ rows and the LIS/LCS rows alike, including the witness\n\
+         traceback ({witness_phases} lis-witness-* phases, {witness_phase_violations} violations, \
+         ≤ {witness_round_ratio:.2}× the length-only rounds)."
     );
 }

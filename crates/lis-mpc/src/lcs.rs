@@ -12,9 +12,23 @@
 //! size the cluster for `|a| · |b|` and the whole pipeline — join included —
 //! runs violation-free on strict clusters.
 
-use crate::lis::lis_length_mpc;
+use crate::lis::{lis_length_mpc, lis_witness_mpc};
 use monge_mpc::MulParams;
 use mpc_runtime::Cluster;
+
+/// Result of the MPC LCS computation with witness recovery
+/// ([`lcs_witness_mpc`]).
+#[derive(Clone, Debug)]
+pub struct MpcLcsOutcome {
+    /// Length of the longest common subsequence.
+    pub length: usize,
+    /// Number of matching pairs the Hunt–Szymanski reduction produced (the
+    /// quantity that drives the corollary's total-space requirement).
+    pub pairs: usize,
+    /// One longest common subsequence as matched index pairs `(i, j)` with
+    /// `a[i] == b[j]`, strictly ascending in both coordinates.
+    pub witness: Vec<(usize, usize)>,
+}
 
 /// Computes the LCS length of `a` and `b` on the cluster.
 ///
@@ -30,6 +44,76 @@ pub fn lcs_mpc<T: Ord + std::hash::Hash + Clone + Send + Sync>(
     b: &[T],
     params: &MulParams,
 ) -> (usize, usize) {
+    let pairs = match_pairs(cluster, a, b);
+    let pair_count = pairs.len();
+    if pair_count == 0 {
+        return (0, 0);
+    }
+    let seconds: Vec<u32> = pairs.into_iter().map(|(_, j)| j).collect();
+    (lis_length_mpc(cluster, &seconds, params), pair_count)
+}
+
+/// Computes the LCS length *and* recovers an actual common subsequence
+/// (Corollary 1.3.1 with structured output): the Hunt–Szymanski match-pair
+/// list is built as in [`lcs_mpc`], the LIS witness traceback runs over the
+/// pairs' second coordinates ([`lis_witness_mpc`]), and the chosen pair-list
+/// positions map back to `(i, j)` index pairs. Increasing position in the
+/// lexicographically sorted list (with `j` descending within equal `i`) plus
+/// strictly increasing `j` forces strictly increasing `i`, so the recovered
+/// pairs form a genuine common subsequence of length [`MpcLcsOutcome::length`].
+pub fn lcs_witness_mpc<T: Ord + std::hash::Hash + Clone + Send + Sync>(
+    cluster: &mut Cluster,
+    a: &[T],
+    b: &[T],
+    params: &MulParams,
+) -> MpcLcsOutcome {
+    let pairs = match_pairs(cluster, a, b);
+    if pairs.is_empty() {
+        return MpcLcsOutcome {
+            length: 0,
+            pairs: 0,
+            witness: Vec::new(),
+        };
+    }
+    let seconds: Vec<u32> = pairs.iter().map(|&(_, j)| j).collect();
+    let outcome = lis_witness_mpc(cluster, &seconds, params);
+    let witness: Vec<(usize, usize)> = outcome
+        .witness
+        .expect("lis_witness_mpc always recovers")
+        .into_iter()
+        .map(|p| (pairs[p].0 as usize, pairs[p].1 as usize))
+        .collect();
+    debug_assert!(witness
+        .windows(2)
+        .all(|w| w[0].0 < w[1].0 && w[0].1 < w[1].1));
+    MpcLcsOutcome {
+        length: outcome.length,
+        pairs: pairs.len(),
+        witness,
+    }
+}
+
+/// The distributed Hunt–Szymanski sort-join: lists all matching pairs `(i, j)`
+/// in lexicographic order (`i` ascending, `j` descending within equal `i`).
+fn match_pairs<T: Ord + std::hash::Hash + Clone + Send + Sync>(
+    cluster: &mut Cluster,
+    a: &[T],
+    b: &[T],
+) -> Vec<(u32, u32)> {
+    // Match positions travel as u32 (the pair count itself is re-guarded at
+    // the LIS pipeline entry, since the pair list becomes its input).
+    assert!(
+        a.len() <= u32::MAX as usize && b.len() <= u32::MAX as usize,
+        "lcs-mpc indexes string positions as u32: |a| = {} / |b| = {} exceeds u32::MAX",
+        a.len(),
+        b.len()
+    );
+    // An empty side means zero pairs: answer without touching the cluster. The
+    // join used to run anyway and distribute the other string, which overflows
+    // a strict cluster legitimately sized for the (zero-pair) |a|·|b| regime.
+    if a.is_empty() || b.is_empty() {
+        return Vec::new();
+    }
     // The sort-join producing the match pairs, fully distributed: group both
     // strings by symbol, emit each class's cross product (outputs rebalanced),
     // then sort the pairs into Hunt–Szymanski order.
@@ -72,18 +156,9 @@ pub fn lcs_mpc<T: Ord + std::hash::Hash + Clone + Send + Sync>(
         },
     );
     let sorted = cluster.sort_by_key(pairs, |&(i, j)| (i, std::cmp::Reverse(j)));
-    let seconds: Vec<u32> = cluster
-        .collect(sorted)
-        .into_iter()
-        .map(|(_, j)| j)
-        .collect();
-    let pair_count = seconds.len();
+    let out = cluster.collect(sorted);
     cluster.set_phase(None::<String>);
-
-    if pair_count == 0 {
-        return (0, 0);
-    }
-    (lis_length_mpc(cluster, &seconds, params), pair_count)
+    out
 }
 
 /// Convenience wrapper returning only the LCS length.
@@ -156,6 +231,58 @@ mod tests {
         let (len, pairs) = lcs_mpc(&mut cluster, &a, &a, &MulParams::default());
         assert_eq!(len, 60);
         assert_eq!(pairs, 60);
+    }
+
+    #[test]
+    fn lcs_witness_is_a_common_subsequence() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..8 {
+            let m = rng.gen_range(0..60);
+            let n = rng.gen_range(0..60);
+            let alphabet = rng.gen_range(2..8);
+            let a = random_string(m, alphabet, &mut rng);
+            let b = random_string(n, alphabet, &mut rng);
+            let mut cluster = strict_cluster(m * n, 0.6);
+            let outcome = lcs_witness_mpc(&mut cluster, &a, &b, &MulParams::default());
+            assert_eq!(outcome.length, lcs_length_dp(&a, &b), "a={a:?} b={b:?}");
+            assert_eq!(outcome.witness.len(), outcome.length);
+            assert!(outcome
+                .witness
+                .windows(2)
+                .all(|w| w[0].0 < w[1].0 && w[0].1 < w[1].1));
+            assert!(outcome.witness.iter().all(|&(i, j)| a[i] == b[j]));
+            assert_eq!(cluster.ledger().space_violations, 0);
+        }
+    }
+
+    #[test]
+    fn empty_sides_skip_the_cluster() {
+        // Regression: an empty string used to run the distributed join anyway,
+        // overflowing strict clusters sized for the zero-pair regime.
+        let b: Vec<u32> = (0..200).map(|i| i % 5).collect();
+        let mut cluster = strict_cluster(4, 0.5);
+        assert_eq!(
+            lcs_mpc::<u32>(&mut cluster, &[], &b, &MulParams::default()),
+            (0, 0)
+        );
+        assert_eq!(
+            lcs_mpc::<u32>(&mut cluster, &b, &[], &MulParams::default()),
+            (0, 0)
+        );
+        let outcome = lcs_witness_mpc::<u32>(&mut cluster, &[], &b, &MulParams::default());
+        assert_eq!((outcome.length, outcome.pairs), (0, 0));
+        assert!(outcome.witness.is_empty());
+        assert_eq!(cluster.rounds(), 0, "no cluster work for empty sides");
+    }
+
+    #[test]
+    fn lcs_witness_on_disjoint_alphabets_is_empty() {
+        let a = vec![1u32, 2, 3];
+        let b = vec![4u32, 5, 6];
+        let mut cluster = strict_cluster(16, 0.5);
+        let outcome = lcs_witness_mpc(&mut cluster, &a, &b, &MulParams::default());
+        assert_eq!(outcome.length, 0);
+        assert!(outcome.witness.is_empty());
     }
 
     #[test]

@@ -21,12 +21,20 @@
 //! sub-blocks and emitted entry-wise so the ledger sees their real footprint,
 //! and every merge level runs its `⊡` under a `lis-merge-L<k>` ledger scope so
 //! rounds, communication and loads are attributed per level.
+//!
+//! Beyond lengths, both pipelines recover actual **witnesses**:
+//! [`lis::lis_witness_mpc`] returns the positions of one longest increasing
+//! subsequence and [`lcs::lcs_witness_mpc`] one common subsequence's matched
+//! index pairs, via the [`witness`] top-down traceback over the recorded merge
+//! tree — `O(log n)` extra rounds under `lis-witness-L<k>` ledger scopes, still
+//! strict.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod lcs;
 pub mod lis;
+pub mod witness;
 
-pub use lcs::lcs_length_mpc;
-pub use lis::{lis_kernel_mpc, lis_length_mpc, MpcLisOutcome};
+pub use lcs::{lcs_length_mpc, lcs_witness_mpc, MpcLcsOutcome};
+pub use lis::{lis_kernel_mpc, lis_length_mpc, lis_witness_mpc, MpcLisOutcome};

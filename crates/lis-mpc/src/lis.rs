@@ -23,6 +23,7 @@
 //! violations. The final kernel answers every semi-local (window) LIS query; the
 //! global LIS length is read off the full window.
 
+use crate::witness::{self, Provenance, TraceNode, WitnessTrace};
 use monge::PermutationMatrix;
 use monge_mpc::MulParams;
 use mpc_runtime::{costs, Cluster, MpcConfig};
@@ -40,6 +41,10 @@ pub struct MpcLisOutcome {
     pub kernel: SeaweedKernel,
     /// Number of merge levels executed (each `O(1)` rounds).
     pub levels: usize,
+    /// Positions (indices into the input) of one longest strictly increasing
+    /// subsequence, present when witness recovery was requested
+    /// ([`lis_witness_mpc`]); [`lis_kernel_mpc`] leaves it `None`.
+    pub witness: Option<Vec<usize>>,
 }
 
 /// One block of the divide and conquer: its kernel is over the compact alphabet of
@@ -95,13 +100,62 @@ pub fn lis_kernel_mpc<T: Ord>(
     seq: &[T],
     params: &MulParams,
 ) -> MpcLisOutcome {
+    pipeline(cluster, seq, params, false).0
+}
+
+/// Computes the LIS kernel *and* recovers an actual witness: the bottom-up merge
+/// records, per level, each node's value set and kernel (the seaweed crossing
+/// structure the split needs), then `lis_mpc::witness` runs the `O(log n)`-round
+/// top-down traceback — splitting a value-window query at every merge
+/// ([`seaweed_lis::lis::split_window_lis`]), reconstructing each base block's
+/// slice locally, and concatenating the slices with one final rebalanced sort.
+/// The returned outcome carries the witness as input positions
+/// ([`MpcLisOutcome::witness`], always `Some`); the descent runs under
+/// `lis-witness-L<k>` / `lis-witness-base` ledger scopes and stays strict.
+pub fn lis_witness_mpc<T: Ord>(
+    cluster: &mut Cluster,
+    seq: &[T],
+    params: &MulParams,
+) -> MpcLisOutcome {
+    let (mut outcome, trace) = pipeline(cluster, seq, params, true);
+    let positions = match &trace {
+        Some(trace) => witness::recover(cluster, trace, outcome.length),
+        None => Vec::new(),
+    };
+    debug_assert_eq!(positions.len(), outcome.length);
+    outcome.witness = Some(positions);
+    outcome
+}
+
+/// The shared Theorem 1.3 pipeline; with `record` set, every level's nodes are
+/// snapshotted into a [`WitnessTrace`] for the top-down traceback (in the model
+/// the snapshots are the per-level kernel checkpoints left resident on the
+/// machines that combed/merged them).
+fn pipeline<T: Ord>(
+    cluster: &mut Cluster,
+    seq: &[T],
+    params: &MulParams,
+    record: bool,
+) -> (MpcLisOutcome, Option<WitnessTrace>) {
     let n = seq.len();
+    // Positions, ranks and kernel entries travel the cluster as u32: beyond
+    // u32::MAX the casts below would silently truncate, so refuse loudly. (The
+    // LCS pipeline funnels its match-pair list through here, so this guard also
+    // caps the Corollary 1.3.1 pair count.)
+    assert!(
+        n <= u32::MAX as usize,
+        "lis-mpc indexes positions and ranks as u32: n = {n} exceeds u32::MAX"
+    );
     if n == 0 {
-        return MpcLisOutcome {
-            length: 0,
-            kernel: SeaweedKernel::comb(&[], &[]),
-            levels: 0,
-        };
+        return (
+            MpcLisOutcome {
+                length: 0,
+                kernel: SeaweedKernel::comb(&[], &[]),
+                levels: 0,
+                witness: None,
+            },
+            None,
+        );
     }
 
     // Step 1: ranking. One sort of (value, position) pairs (Lemma 2.5) plus an
@@ -180,6 +234,22 @@ pub fn lis_kernel_mpc<T: Ord>(
         blocks
     };
 
+    // Witness traceback checkpoints: level 0 = the base blocks as combed.
+    let mut trace_levels: Vec<Vec<TraceNode>> = Vec::new();
+    if record {
+        trace_levels.push(
+            blocks
+                .iter()
+                .enumerate()
+                .map(|(i, b)| TraceNode {
+                    values: b.values.clone(),
+                    kernel: b.kernel.clone(),
+                    prov: Provenance::Base { block: i as u32 },
+                })
+                .collect(),
+        );
+    }
+
     // Step 3: pairwise merge levels, each under its own ledger scope so the
     // inner ⊡ phases are attributed per level (`lis-merge-L2/combine-route`).
     let mut levels = 0;
@@ -227,6 +297,28 @@ pub fn lis_kernel_mpc<T: Ord>(
         if let Some(b) = leftover {
             next.push(b);
         }
+        if record {
+            // Provenance mirrors the construction order: pair p merged children
+            // (2p, 2p+1) of the previous level; an odd leftover passed through.
+            let prev_len = trace_levels.last().expect("level 0 recorded").len();
+            trace_levels.push(
+                next.iter()
+                    .enumerate()
+                    .map(|(i, b)| TraceNode {
+                        values: b.values.clone(),
+                        kernel: b.kernel.clone(),
+                        prov: if 2 * i + 1 < prev_len {
+                            Provenance::Merge {
+                                lo: 2 * i,
+                                hi: 2 * i + 1,
+                            }
+                        } else {
+                            Provenance::Pass { child: 2 * i }
+                        },
+                    })
+                    .collect(),
+            );
+        }
         blocks = next;
     }
     cluster.set_phase_scope(None::<String>);
@@ -235,11 +327,20 @@ pub fn lis_kernel_mpc<T: Ord>(
     debug_assert_eq!(root.kernel.y_len(), n);
     let length = root.kernel.lcs_window(0, n);
     cluster.set_phase(None::<String>);
-    MpcLisOutcome {
-        length,
-        kernel: root.kernel,
-        levels,
-    }
+    let trace = record.then_some(WitnessTrace {
+        ranks,
+        block_size,
+        levels: trace_levels,
+    });
+    (
+        MpcLisOutcome {
+            length,
+            kernel: root.kernel,
+            levels,
+            witness: None,
+        },
+        trace,
+    )
 }
 
 /// Computes only the LIS length (Theorem 1.3).
@@ -406,6 +507,100 @@ mod tests {
             );
             assert!(b <= thr);
         }
+    }
+
+    #[test]
+    fn witness_is_valid_across_depths() {
+        // The recovered positions must spell out an actual LIS — strictly
+        // increasing positions and values, length equal to the kernel's — at
+        // budgets forcing several merge levels (with odd block counts too).
+        let mut rng = StdRng::seed_from_u64(11);
+        for &(n, delta) in &[
+            (1usize, 0.5),
+            (5, 0.5),
+            (130, 0.75),
+            (400, 0.75),
+            (1000, 0.6),
+        ] {
+            let seq: Vec<u32> = (0..n).map(|_| rng.gen_range(0..60) as u32).collect();
+            let mut cluster = strict_cluster(n, delta);
+            let outcome = lis_witness_mpc(&mut cluster, &seq, &MulParams::default());
+            let witness = outcome.witness.as_ref().expect("witness requested");
+            assert_eq!(outcome.length, lis_length_patience(&seq), "n={n}");
+            assert_eq!(witness.len(), outcome.length, "n={n}");
+            assert!(witness.windows(2).all(|w| w[0] < w[1]));
+            assert!(
+                witness.windows(2).all(|w| seq[w[0]] < seq[w[1]]),
+                "not strictly increasing: n={n} δ={delta}"
+            );
+            assert_eq!(cluster.ledger().space_violations, 0);
+        }
+    }
+
+    #[test]
+    fn witness_phases_are_scoped_and_cheap() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let n = 512;
+        let mut seq: Vec<u32> = (0..n as u32).collect();
+        seq.shuffle(&mut rng);
+
+        let mut plain = strict_cluster(n, 0.75);
+        let _ = lis_kernel_mpc(&mut plain, &seq, &MulParams::default());
+        let plain_rounds = plain.rounds();
+
+        let mut traced = strict_cluster(n, 0.75);
+        let outcome = lis_witness_mpc(&mut traced, &seq, &MulParams::default());
+        assert!(outcome.levels >= 2);
+        let ledger = traced.ledger();
+        // Every merge level has a matching witness-descent scope, plus the base
+        // reconstruction; none of them may violate the strict budget (the
+        // cluster would have panicked) nor be recorded as violating.
+        for level in 1..=outcome.levels {
+            let prefix = format!("lis-witness-L{level}/");
+            assert!(
+                ledger
+                    .rounds_by_phase
+                    .keys()
+                    .any(|k| k.starts_with(&prefix)),
+                "no ledger phases recorded under {prefix}"
+            );
+        }
+        assert!(ledger
+            .rounds_by_phase
+            .keys()
+            .any(|k| k.starts_with("lis-witness-base/")));
+        assert!(ledger.violations_by_phase.is_empty());
+        // The descent is a small constant fraction of the bottom-up merge.
+        assert!(
+            traced.rounds() <= 2 * plain_rounds,
+            "witness recovery more than doubled the rounds: {} vs {}",
+            traced.rounds(),
+            plain_rounds
+        );
+    }
+
+    #[test]
+    fn witness_on_duplicate_heavy_input() {
+        // Ties rank right-to-left, so a valid witness exists even when the
+        // sequence is mostly one value.
+        let mut rng = StdRng::seed_from_u64(13);
+        let seq: Vec<u32> = (0..300).map(|_| rng.gen_range(0..4) as u32).collect();
+        let mut cluster = strict_cluster(seq.len(), 0.7);
+        let outcome = lis_witness_mpc(&mut cluster, &seq, &MulParams::default());
+        let witness = outcome.witness.unwrap();
+        assert_eq!(witness.len(), lis_length_patience(&seq));
+        assert!(witness.windows(2).all(|w| seq[w[0]] < seq[w[1]]));
+    }
+
+    #[test]
+    fn witness_of_empty_and_constant_sequences() {
+        let mut cluster = strict_cluster(4, 0.5);
+        let outcome = lis_witness_mpc::<u32>(&mut cluster, &[], &MulParams::default());
+        assert_eq!(outcome.witness.as_deref(), Some(&[][..]));
+        let mut cluster = strict_cluster(64, 0.5);
+        let outcome = lis_witness_mpc(&mut cluster, &[3u32; 64], &MulParams::default());
+        assert_eq!(outcome.length, 1);
+        assert_eq!(outcome.witness.unwrap().len(), 1);
     }
 
     #[test]

@@ -1,0 +1,211 @@
+//! Distributed LIS witness recovery: the top-down traceback over the recorded
+//! merge tree of Theorem 1.3.
+//!
+//! The bottom-up pass of [`crate::lis::lis_witness_mpc`] checkpoints every
+//! level of the `lis-merge-L<k>` tree (each node's sorted value set and seaweed
+//! kernel — in the model these stay resident on the machines that combed or
+//! merged them). Recovery then descends the same tree in `O(log n)` rounds:
+//!
+//! 1. **Split** (per level, `O(1)` rounds): each active node holds a query
+//!    "realize `t` witness elements using global ranks in `[vlo, vhi)`". At a
+//!    merge node the query is split into per-child sub-queries with one
+//!    Hirschberg-style scan over the children's checkpointed kernels
+//!    ([`seaweed_lis::lis::split_window_lis`], built on the
+//!    [`seaweed_lis::kernel::SeaweedKernel::x_prefix_lcs`] /
+//!    [`x_suffix_lcs`](seaweed_lis::kernel::SeaweedKernel::x_suffix_lcs)
+//!    value-window queries): because the witness increases in value as position
+//!    grows, a threshold `w` separates the part realized in the left child
+//!    (values `< w`) from the part in the right child (values `≥ w`), and
+//!    `t` splits as `t_lo + t_hi`. Zero-length sub-queries are pruned. The
+//!    scan touches one checkpointed entry per union value in the window —
+//!    at most `n` items per level, which the simulation routes through a real
+//!    prefix-sum superstep so the ledger observes the footprint — and the
+//!    sub-queries leave with one shuffle.
+//! 2. **Reconstruct** (base level): the surviving block-addressed queries are
+//!    joined against the resident input elements with one
+//!    [`mpc_runtime::Cluster::cogroup_map`]; each base block recovers its slice
+//!    locally by patience sorting with parent pointers
+//!    ([`seaweed_lis::lis::lis_witness_in_rank_range`]) — length exactly the
+//!    split's `t`, by the split invariant.
+//! 3. **Concatenate**: the chosen `(position, rank)` pairs are put in position
+//!    order by one final rebalanced sort; ranks then increase along the result
+//!    by construction, so the positions spell out an actual LIS.
+//!
+//! Every phase runs under a `lis-witness-L<k>` / `lis-witness-base` ledger
+//! scope on the same strict cluster as the bottom-up pass; the descent adds
+//! `O(1)` rounds per level, a small constant fraction of what the level's `⊡`
+//! merge cost on the way up (the `exp_lis_rounds` harness asserts ≤ 2×
+//! overall).
+
+use mpc_runtime::{costs, Cluster};
+use seaweed_lis::kernel::SeaweedKernel;
+use seaweed_lis::lis::{lis_witness_in_rank_range, split_window_lis};
+
+/// Per-level checkpoints recorded by the bottom-up pass.
+pub(crate) struct WitnessTrace {
+    /// Global rank of every input position (the sequence the blocks hold).
+    pub(crate) ranks: Vec<u32>,
+    /// Base block size (positions `[b·B, (b+1)·B)` form block `b`).
+    pub(crate) block_size: usize,
+    /// `levels[0]` = base blocks; `levels[k]` = nodes after `k` merge levels.
+    pub(crate) levels: Vec<Vec<TraceNode>>,
+}
+
+/// One checkpointed node of the merge tree.
+pub(crate) struct TraceNode {
+    /// Sorted global ranks present in the node's position range.
+    pub(crate) values: Vec<usize>,
+    /// Kernel over the compact alphabet of `values`.
+    pub(crate) kernel: SeaweedKernel,
+    /// Where the node came from (one level down).
+    pub(crate) prov: Provenance,
+}
+
+/// Provenance of a checkpointed node.
+pub(crate) enum Provenance {
+    /// A base block combed locally in step 2 of the pipeline.
+    Base {
+        /// Block id (= position `/ block_size`).
+        block: u32,
+    },
+    /// Merged from children at indices `(lo, hi)` of the previous level.
+    Merge {
+        /// Left (earlier positions) child index.
+        lo: usize,
+        /// Right (later positions) child index.
+        hi: usize,
+    },
+    /// The odd leftover block, passed through unchanged.
+    Pass {
+        /// Child index in the previous level.
+        child: usize,
+    },
+}
+
+/// A value-window witness query addressed to one node of a level:
+/// `(node index, vlo, vhi, t)`.
+type Query = (usize, usize, usize, usize);
+
+/// Runs the top-down traceback and returns the witness as input positions
+/// (ascending; ranks — hence original values — strictly increase along it).
+pub(crate) fn recover(cluster: &mut Cluster, trace: &WitnessTrace, length: usize) -> Vec<usize> {
+    if length == 0 {
+        return Vec::new();
+    }
+    let n = trace.ranks.len();
+    let top = trace.levels.len() - 1;
+    let mut queries: Vec<Query> = vec![(0, 0, n, length)];
+
+    for level in (1..=top).rev() {
+        cluster.set_phase_scope(Some(format!("lis-witness-L{level}")));
+        cluster.set_phase(Some("split"));
+        let nodes = &trace.levels[level];
+        let children = &trace.levels[level - 1];
+
+        // The split scan touches one checkpointed kernel entry per union value
+        // inside each active merge window; route that slice through a real
+        // prefix-sum superstep so strict clusters observe the level's true
+        // footprint (the windows are disjoint, so this is ≤ n items).
+        let candidates: Vec<(u32, u32)> = queries
+            .iter()
+            .flat_map(|&(idx, vlo, vhi, _)| {
+                let node = &nodes[idx];
+                let slice = match node.prov {
+                    Provenance::Merge { .. } => {
+                        let a = node.values.partition_point(|&v| v < vlo);
+                        let b = node.values.partition_point(|&v| v < vhi);
+                        &node.values[a..b]
+                    }
+                    _ => &[],
+                };
+                slice.iter().map(move |&v| (idx as u32, v as u32))
+            })
+            .collect();
+        let cdv = cluster.distribute(candidates);
+        let scanned = cluster.prefix_sums(cdv, |_| 1);
+        drop(cluster.collect(scanned));
+        // The pruned sub-queries leave for their child nodes' machines.
+        cluster.charge_rounds("witness-route", costs::SHUFFLE);
+
+        let mut next: Vec<Query> = Vec::with_capacity(2 * queries.len());
+        for (idx, vlo, vhi, t) in queries.drain(..) {
+            match nodes[idx].prov {
+                Provenance::Pass { child } => next.push((child, vlo, vhi, t)),
+                Provenance::Merge { lo, hi } => {
+                    let l = &children[lo];
+                    let h = &children[hi];
+                    let (w, t_lo, t_hi) = split_window_lis(
+                        (&l.values, &l.kernel),
+                        (&h.values, &h.kernel),
+                        vlo,
+                        vhi,
+                        t,
+                    );
+                    if t_lo > 0 {
+                        next.push((lo, vlo, w, t_lo));
+                    }
+                    if t_hi > 0 {
+                        next.push((hi, w, vhi, t_hi));
+                    }
+                }
+                Provenance::Base { .. } => unreachable!("base node above level 0"),
+            }
+        }
+        queries = next;
+    }
+
+    // Base level: join the surviving block queries against the resident input
+    // elements and reconstruct each slice where its block lives.
+    cluster.set_phase_scope(Some("lis-witness-base"));
+    cluster.set_phase(Some("reconstruct"));
+    let base = &trace.levels[0];
+    let block_size = trace.block_size as u32;
+    let elements = cluster.distribute(
+        trace
+            .ranks
+            .iter()
+            .enumerate()
+            .map(|(i, &r)| (i as u32, r))
+            .collect::<Vec<_>>(),
+    );
+    let base_queries: Vec<(u32, u32, u32, u32)> = queries
+        .into_iter()
+        .map(|(idx, vlo, vhi, t)| {
+            let Provenance::Base { block } = base[idx].prov else {
+                unreachable!("level-0 node without base provenance")
+            };
+            (block, vlo as u32, vhi as u32, t as u32)
+        })
+        .collect();
+    let qdv = cluster.distribute(base_queries);
+    let chosen = cluster.cogroup_map(
+        elements,
+        qdv,
+        move |&(pos, _)| pos / block_size,
+        |&(block, ..)| block,
+        |_, elems, qs| {
+            let mut out = Vec::new();
+            for (_, vlo, vhi, t) in qs {
+                let slice = lis_witness_in_rank_range(&elems, vlo, vhi);
+                assert_eq!(
+                    slice.len(),
+                    t as usize,
+                    "base block failed to realize its split length"
+                );
+                out.extend(slice);
+            }
+            out
+        },
+    );
+
+    // Final rebalanced sort puts the slices in position order; the split
+    // thresholds guarantee ranks increase along it.
+    cluster.set_phase(Some("concat"));
+    let sorted = cluster.sort_by_key(chosen, |&(pos, _)| pos);
+    let flat = cluster.collect(sorted);
+    cluster.set_phase_scope(None::<String>);
+    cluster.set_phase(None::<String>);
+
+    debug_assert!(flat.windows(2).all(|w| w[0].1 < w[1].1));
+    flat.into_iter().map(|(pos, _)| pos as usize).collect()
+}

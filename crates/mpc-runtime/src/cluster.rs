@@ -580,6 +580,88 @@ impl Cluster {
         out
     }
 
+    /// Keyed co-group (sort-join): groups *two* distributed vectors by a shared
+    /// key space, places every key's combined group on one machine (greedy
+    /// packing, like [`Cluster::group_map`]) and applies `f` to the key with
+    /// both sides' items (each in its global arrival order). Keys present on
+    /// only one side still run, with the other side empty.
+    ///
+    /// This is the routing primitive for "join a query stream against resident
+    /// data" steps — e.g. the witness traceback delivering per-block
+    /// reconstruction queries to the machines holding those blocks' elements —
+    /// and costs the same `O(1)` rounds as a group map (one sort + prefix-sum
+    /// packing + route). A combined group larger than the space budget is a
+    /// space violation.
+    pub fn cogroup_map<A, B, K, U, FA, FB, F>(
+        &mut self,
+        a: DistVec<A>,
+        b: DistVec<B>,
+        key_a: FA,
+        key_b: FB,
+        f: F,
+    ) -> DistVec<U>
+    where
+        A: Send,
+        B: Send,
+        K: Ord + Send + std::hash::Hash + Clone + Sync,
+        U: Send,
+        FA: Fn(&A) -> K + Sync,
+        FB: Fn(&B) -> K + Sync,
+        F: Fn(&K, Vec<A>, Vec<B>) -> Vec<U> + Sync + Send,
+    {
+        enum Side<A, B> {
+            Left(A),
+            Right(B),
+        }
+        let total = (a.len() + b.len()) as u64;
+        let m = self.config.machines;
+        self.ledger.apply(
+            Superstep::new("cogroup_map", costs::GROUP_MAP, total),
+            self.label.as_deref(),
+        );
+        // Tag the two streams and gather them as one keyed stream; within a
+        // group, gathering is stable, so each side keeps its own global order.
+        let mut parts: Vec<Vec<Side<A, B>>> = a
+            .parts
+            .into_iter()
+            .map(|p| p.into_iter().map(Side::Left).collect())
+            .collect();
+        parts.resize_with(parts.len().max(b.parts.len()).max(m), Vec::new);
+        for (i, p) in b.parts.into_iter().enumerate() {
+            parts[i].extend(p.into_iter().map(Side::Right));
+        }
+        let (groups, machine_of_group) = self.gather_packed(
+            parts,
+            |side: &Side<A, B>| match side {
+                Side::Left(x) => key_a(x),
+                Side::Right(y) => key_b(y),
+            },
+            "cogroup_map",
+        );
+        let results: Vec<(usize, Vec<U>)> = groups
+            .into_par_iter()
+            .zip(machine_of_group.par_iter().copied())
+            .map(|((k, items), machine)| {
+                let mut lefts = Vec::new();
+                let mut rights = Vec::new();
+                for side in items {
+                    match side {
+                        Side::Left(x) => lefts.push(x),
+                        Side::Right(y) => rights.push(y),
+                    }
+                }
+                (machine, f(&k, lefts, rights))
+            })
+            .collect();
+        let mut parts: Vec<Vec<U>> = (0..m).map(|_| Vec::new()).collect();
+        for (machine, mut out) in results {
+            parts[machine].append(&mut out);
+        }
+        let out = DistVec::from_parts(parts);
+        self.observe(&out, "cogroup_map");
+        out
+    }
+
     /// Concatenates two distributed vectors machine-wise (no data movement, no
     /// rounds): machine `i` simply owns both its parts.
     pub fn concat<T: Send>(&mut self, a: DistVec<T>, b: DistVec<T>) -> DistVec<T> {
@@ -831,6 +913,73 @@ mod tests {
         let dv = DistVec::from_parts(vec![items]);
         // All items share one group: cannot fit on a machine with space 10.
         let _ = cl.group_map(dv, |_| 0u32, |_, items| items);
+    }
+
+    #[test]
+    fn cogroup_map_joins_both_sides_per_key() {
+        let mut cl = cluster(1000, 0.5);
+        // Left: 2 items per key 0..10; right: 1 query per even key, plus a
+        // right-only key 99.
+        let left: Vec<(u32, u32)> = (0..20).map(|i| (i % 10, i)).collect();
+        let mut right: Vec<(u32, &'static str)> = (0..10).step_by(2).map(|k| (k, "q")).collect();
+        right.push((99, "lonely"));
+        let ldv = cl.distribute(left);
+        let rdv = cl.distribute(right);
+        let out = cl.cogroup_map(
+            ldv,
+            rdv,
+            |&(k, _)| k,
+            |&(k, _)| k,
+            |&k, lefts, rights| vec![(k, lefts.len(), rights.len())],
+        );
+        let mut flat = out.into_inner();
+        flat.sort_unstable();
+        assert_eq!(flat.len(), 11);
+        for &(k, nl, nr) in &flat {
+            if k == 99 {
+                assert_eq!((nl, nr), (0, 1));
+            } else {
+                assert_eq!(nl, 2, "key {k}");
+                assert_eq!(nr, usize::from(k % 2 == 0), "key {k}");
+            }
+        }
+        assert_eq!(cl.ledger().primitive_counts["cogroup_map"], 1);
+        assert_eq!(cl.rounds(), costs::GROUP_MAP);
+    }
+
+    #[test]
+    fn cogroup_map_preserves_side_order_within_groups() {
+        let mut cl = Cluster::new(MpcConfig::new(600, 0.5).with_machines(7));
+        let left: Vec<(u32, u32)> = (0..300).map(|i| (i % 3, i)).collect();
+        let right: Vec<(u32, u32)> = (0..90).map(|i| (i % 3, 1000 + i)).collect();
+        let ldv = cl.distribute(left);
+        let rdv = cl.distribute(right);
+        let out = cl.cogroup_map(
+            ldv,
+            rdv,
+            |&(k, _)| k,
+            |&(k, _)| k,
+            |&k, lefts, rights| {
+                // Each side must arrive in its own global order.
+                assert!(lefts.windows(2).all(|w| w[0].1 < w[1].1), "key {k}");
+                assert!(rights.windows(2).all(|w| w[0].1 < w[1].1), "key {k}");
+                vec![(k, lefts.len() + rights.len())]
+            },
+        );
+        let mut flat = out.into_inner();
+        flat.sort_unstable();
+        assert_eq!(flat, vec![(0, 130), (1, 130), (2, 130)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "space budget exceeded in `cogroup_map`")]
+    fn strict_mode_panics_on_oversized_cogroup() {
+        let mut cl = Cluster::new(MpcConfig::new(10_000, 0.5).with_space(10).strict());
+        let left: Vec<u32> = (0..30).collect();
+        let right: Vec<u32> = (0..30).collect();
+        let ldv = cl.distribute(left);
+        let rdv = cl.distribute(right);
+        let _ = cl.cogroup_map(ldv, rdv, |_| 0u32, |_| 0u32, |_, l, _| l);
     }
 
     #[test]

@@ -178,6 +178,78 @@ impl SeaweedKernel {
         (r - l) - crossing
     }
 
+    /// LCS of the *substring* `X[lo..hi)` against the whole `Y` — the transposed
+    /// counterpart of [`Self::lcs_window`], by counting the seaweeds that enter
+    /// the left boundary at a row ≥ `lo` and leave the right boundary at a row
+    /// < `hi`:
+    ///
+    /// `LCS(X[lo..hi), Y) = (hi − lo) − #{left-entry row ≥ lo, right-exit row < hi}`.
+    ///
+    /// (Seaweed paths are monotone — down and right only — so a left-entering
+    /// seaweed exits right at a row no smaller than its entry row, which is what
+    /// makes the single dominance count exact.) For the LIS kernel, where `X` is
+    /// the sorted value alphabet, this answers *value-range-restricted* LIS
+    /// queries. `O(m)` per query; the witness traceback splits on the batched
+    /// forms [`Self::x_prefix_lcs`] / [`Self::x_suffix_lcs`], of which this is
+    /// the single-window special case (`x_suffix_lcs(lo, hi)[0]`).
+    pub fn lcs_x_window(&self, lo: usize, hi: usize) -> usize {
+        self.x_suffix_lcs(lo, hi)[0]
+    }
+
+    /// All prefix answers of one X window in a single `O(m)` pass: returns `v`
+    /// of length `hi − lo + 1` with `v[d] = LCS(X[lo..lo+d), Y)`.
+    ///
+    /// This is one half of the Hirschberg-style split the witness traceback
+    /// performs at a merge node (the other half is [`Self::x_suffix_lcs`] on the
+    /// sibling): growing the window by one row raises the LCS by one unless the
+    /// seaweed exiting right at the new row entered left at a row ≥ `lo`.
+    pub fn x_prefix_lcs(&self, lo: usize, hi: usize) -> Vec<usize> {
+        assert!(
+            lo <= hi && hi <= self.m,
+            "X window [{lo}, {hi}) out of range (m = {})",
+            self.m
+        );
+        // Entry row (when entered from the left) of the seaweed exiting right
+        // at each row; u32::MAX marks rows whose right exit is fed from the top.
+        let mut left_source = vec![u32::MAX; self.m];
+        for e in 0..self.m {
+            let exit = self.perm.col_of(e);
+            if exit >= self.n {
+                left_source[self.m - 1 - (exit - self.n)] = (self.m - 1 - e) as u32;
+            }
+        }
+        let mut out = Vec::with_capacity(hi - lo + 1);
+        let mut f = 0usize;
+        out.push(f);
+        for row in lo..hi {
+            let crossed = left_source[row] != u32::MAX && left_source[row] as usize >= lo;
+            f += 1 - usize::from(crossed);
+            out.push(f);
+        }
+        out
+    }
+
+    /// All suffix answers of one X window in a single `O(m)` pass: returns `v`
+    /// of length `hi − lo + 1` with `v[d] = LCS(X[lo+d..hi), Y)`.
+    pub fn x_suffix_lcs(&self, lo: usize, hi: usize) -> Vec<usize> {
+        assert!(
+            lo <= hi && hi <= self.m,
+            "X window [{lo}, {hi}) out of range (m = {})",
+            self.m
+        );
+        let mut out = vec![0usize; hi - lo + 1];
+        let mut g = 0usize;
+        for row in (lo..hi).rev() {
+            // Shrinking the window start to `row` adds one row; it contributes
+            // unless its seaweed passes left → right inside the window.
+            let exit = self.perm.col_of(self.m - 1 - row);
+            let crossed = exit >= self.n && self.m - 1 - (exit - self.n) < hi;
+            g += 1 - usize::from(crossed);
+            out[row - lo] = g;
+        }
+        out
+    }
+
     /// Builds an indexed query structure answering [`Self::lcs_window`] in
     /// `O(log² n)` per query.
     pub fn queries(&self) -> SemiLocalQueries {
@@ -397,6 +469,44 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn x_window_queries_match_dp_lcs() {
+        // The transposed semi-local family: windows of X against the whole Y,
+        // including the batched prefix/suffix forms used by the witness split.
+        let mut rng = StdRng::seed_from_u64(21);
+        for _ in 0..25 {
+            let m = rng.gen_range(1..12);
+            let n = rng.gen_range(1..14);
+            let alphabet = rng.gen_range(2..5);
+            let x = random_string(m, alphabet, &mut rng);
+            let y = random_string(n, alphabet, &mut rng);
+            let k = SeaweedKernel::comb(&x, &y);
+            for lo in 0..=m {
+                for hi in lo..=m {
+                    let expected = lcs_length_dp(&x[lo..hi], &y);
+                    assert_eq!(
+                        k.lcs_x_window(lo, hi),
+                        expected,
+                        "x={x:?} y={y:?} [{lo},{hi})"
+                    );
+                }
+                let prefixes = k.x_prefix_lcs(lo, m);
+                let suffixes = k.x_suffix_lcs(lo, m);
+                for d in 0..=m - lo {
+                    assert_eq!(prefixes[d], lcs_length_dp(&x[lo..lo + d], &y));
+                    assert_eq!(suffixes[d], lcs_length_dp(&x[lo + d..m], &y));
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "X window")]
+    fn x_window_out_of_range_panics() {
+        let k = SeaweedKernel::comb(&[0, 1], &[1, 0]);
+        let _ = k.lcs_x_window(1, 3);
     }
 
     #[test]

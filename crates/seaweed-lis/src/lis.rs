@@ -12,6 +12,101 @@
 
 use crate::kernel::{compose_horizontal, SeaweedKernel, SemiLocalQueries};
 
+/// Splits a value-window LIS query at a merge node into per-child sub-queries
+/// (the Hirschberg-style step of the witness traceback).
+///
+/// `lo` / `hi` are the two children of the merge in position order: each is the
+/// pair of its sorted global value set and its kernel over the corresponding
+/// compact alphabet. The query asks for an increasing subsequence of the merged
+/// content using only global values in `[vlo, vhi)`, of the *maximal* length
+/// `t` (the caller guarantees `t` is exactly the value-window LIS of the merged
+/// node, as read off its composed kernel).
+///
+/// Because the witness is increasing in value as position grows, every value it
+/// uses in `lo` is smaller than every value it uses in `hi`: some threshold `w`
+/// separates the two parts. The split evaluates, in one pass each,
+/// `F[j] = LIS(lo, values ∈ [vlo, w))` ([`SeaweedKernel::x_prefix_lcs`]) and
+/// `G[d] = LIS(hi, values ∈ [w, vhi))` ([`SeaweedKernel::x_suffix_lcs`]), then
+/// walks the merged staircase of both value sets until `F[j] + G[d] = t` —
+/// guaranteed to occur, since every candidate is ≤ `t` (the concatenation of
+/// the two sub-witnesses is itself an increasing subsequence) and the optimum's
+/// own threshold is among the candidates.
+///
+/// Returns `(w, t_lo, t_hi)`: the child queries are `(vlo, w, t_lo)` on `lo`
+/// and `(w, vhi, t_hi)` on `hi`, with `t_lo + t_hi = t`.
+pub fn split_window_lis(
+    lo: (&[usize], &SeaweedKernel),
+    hi: (&[usize], &SeaweedKernel),
+    vlo: usize,
+    vhi: usize,
+    t: usize,
+) -> (usize, usize, usize) {
+    let (lo_values, lo_kernel) = lo;
+    let (hi_values, hi_kernel) = hi;
+    let la = lo_values.partition_point(|&v| v < vlo);
+    let lb = lo_values.partition_point(|&v| v < vhi);
+    let ra = hi_values.partition_point(|&v| v < vlo);
+    let rb = hi_values.partition_point(|&v| v < vhi);
+    let f = lo_kernel.x_prefix_lcs(la, lb);
+    let g = hi_kernel.x_suffix_lcs(ra, rb);
+
+    let (mut j, mut d) = (0usize, 0usize);
+    if f[j] + g[d] == t {
+        return (vlo, f[j], g[d]);
+    }
+    // Walk the merged value staircase: each union value, in increasing order,
+    // moves the threshold just past itself, bumping exactly one of (j, d).
+    let (mut i, mut k) = (la, ra);
+    while i < lb || k < rb {
+        let u = if k == rb || (i < lb && lo_values[i] < hi_values[k]) {
+            j += 1;
+            i += 1;
+            lo_values[i - 1]
+        } else {
+            d += 1;
+            k += 1;
+            hi_values[k - 1]
+        };
+        if f[j] + g[d] == t {
+            return (u + 1, f[j], g[d]);
+        }
+    }
+    unreachable!("no threshold splits the window [{vlo}, {vhi}) at length {t}")
+}
+
+/// Recovers one longest increasing-in-rank subsequence of `items` restricted to
+/// ranks in `[vlo, vhi)`. `items` are `(position, rank)` pairs in position
+/// order; the result keeps that order. Patience sorting with parent pointers,
+/// `O(B log B)` — the base-block step of the witness traceback.
+pub fn lis_witness_in_rank_range(items: &[(u32, u32)], vlo: u32, vhi: u32) -> Vec<(u32, u32)> {
+    let eligible: Vec<usize> = (0..items.len())
+        .filter(|&i| (vlo..vhi).contains(&items[i].1))
+        .collect();
+    if eligible.is_empty() {
+        return Vec::new();
+    }
+    let mut tails: Vec<usize> = Vec::new(); // indices into `eligible`
+    let mut prev: Vec<usize> = vec![usize::MAX; eligible.len()];
+    for (e, &i) in eligible.iter().enumerate() {
+        let rank = items[i].1;
+        let pos = tails.partition_point(|&tl| items[eligible[tl]].1 < rank);
+        prev[e] = if pos == 0 { usize::MAX } else { tails[pos - 1] };
+        if pos == tails.len() {
+            tails.push(e);
+        } else {
+            tails[pos] = e;
+        }
+    }
+    let mut out = Vec::with_capacity(tails.len());
+    let mut cur = *tails.last().expect("nonempty");
+    while cur != usize::MAX {
+        out.push(items[eligible[cur]]);
+        cur = prev[cur];
+    }
+    out.reverse();
+    out
+}
+
 /// Size below which the kernel is computed by direct combing rather than recursion.
 const COMB_BASE: usize = 32;
 
@@ -106,6 +201,15 @@ fn relabel(seq: &[u32]) -> (Vec<u32>, Vec<usize>) {
 /// increasing subsequences are preserved exactly: equal values are ranked by
 /// *decreasing* position, so no two occurrences of the same value can both appear in
 /// an increasing run of ranks.
+///
+/// The tie direction is load-bearing, not a convention: LIS here is *strict*,
+/// so two equal elements must never both be selectable, which descending-by-
+/// position ranks guarantee (the earlier occurrence gets the larger rank —
+/// `rank_sequence(&[5, 5]) == [1, 0]`). The inverted convention (ascending by
+/// position) would instead *count* equal elements as increasing and overshoot
+/// on duplicate-heavy inputs; the `rank_ties_break_descending_by_position`
+/// test below and the duplicate-heavy differential proptest in
+/// `tests/properties.rs` pin this down.
 pub fn rank_sequence<T: Ord>(seq: &[T]) -> Vec<u32> {
     let mut order: Vec<usize> = (0..seq.len()).collect();
     order.sort_by(|&a, &b| seq[a].cmp(&seq[b]).then(b.cmp(&a)));
@@ -132,6 +236,182 @@ pub fn lis_length<T: Ord>(seq: &[T]) -> usize {
     lis_kernel(seq).lcs_window(0, seq.len())
 }
 
+/// The LIS kernel with its merge tree *recorded* for witness traceback: every
+/// divide-and-conquer merge keeps its two children (value sets + kernels), which
+/// is exactly enough seaweed crossing structure to split a value-window LIS
+/// query into per-child sub-queries ([`split_window_lis`]) and push it down to
+/// the leaves, where the actual subsequence is reconstructed from the stored
+/// contents ([`lis_witness_in_rank_range`]).
+///
+/// This is the sequential counterpart of the distributed traceback in
+/// `lis_mpc::witness`: same tree shape, same split arithmetic, one machine.
+pub struct TracedLisKernel {
+    n: usize,
+    root: Option<TraceNode>,
+}
+
+struct TraceNode {
+    /// Sorted global ranks present in this node's position range.
+    values: Vec<usize>,
+    /// Kernel of (identity over `values`, node contents), compact alphabet.
+    kernel: SeaweedKernel,
+    kind: TraceKind,
+}
+
+enum TraceKind {
+    /// Contents stored as `(position, global rank)` in position order.
+    Leaf { items: Vec<(u32, u32)> },
+    /// The two children in position order.
+    Merge {
+        lo: Box<TraceNode>,
+        hi: Box<TraceNode>,
+    },
+}
+
+impl TracedLisKernel {
+    /// Builds the traced kernel: `O(n log² n)`, like [`lis_kernel`], plus the
+    /// recorded tree (`O(n log n)` extra space).
+    pub fn new<T: Ord>(seq: &[T]) -> Self {
+        let n = seq.len();
+        let ranks = rank_sequence(seq);
+        let items: Vec<(u32, u32)> = ranks
+            .iter()
+            .enumerate()
+            .map(|(i, &r)| (i as u32, r))
+            .collect();
+        Self {
+            n,
+            root: (n > 0).then(|| build_trace(items)),
+        }
+    }
+
+    /// Length of the underlying sequence.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the underlying sequence is empty.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// The semi-local kernel of the whole sequence (identical to
+    /// [`lis_kernel`]).
+    pub fn kernel(&self) -> Option<&SeaweedKernel> {
+        self.root.as_ref().map(|r| &r.kernel)
+    }
+
+    /// Length of the longest strictly increasing subsequence.
+    pub fn lis_length(&self) -> usize {
+        self.root
+            .as_ref()
+            .map_or(0, |r| r.kernel.lcs_window(0, self.n))
+    }
+
+    /// Positions (indices into the input sequence) of one longest strictly
+    /// increasing subsequence, recovered by traceback through the recorded
+    /// merge tree: split at every merge, reconstruct at the leaves.
+    pub fn witness(&self) -> Vec<usize> {
+        let Some(root) = &self.root else {
+            return Vec::new();
+        };
+        let t = self.lis_length();
+        if t == 0 {
+            return Vec::new();
+        }
+        let mut out = Vec::with_capacity(t);
+        trace_query(root, 0, self.n, t, &mut out);
+        debug_assert_eq!(out.len(), t);
+        debug_assert!(out.windows(2).all(|w| w[0].1 < w[1].1));
+        out.into_iter().map(|(pos, _)| pos as usize).collect()
+    }
+}
+
+fn build_trace(items: Vec<(u32, u32)>) -> TraceNode {
+    let mut values: Vec<usize> = items.iter().map(|&(_, r)| r as usize).collect();
+    values.sort_unstable();
+    if items.len() <= COMB_BASE {
+        let compact: Vec<u32> = items
+            .iter()
+            .map(|&(_, r)| values.partition_point(|&v| v < r as usize) as u32)
+            .collect();
+        let x: Vec<u32> = (0..compact.len() as u32).collect();
+        let kernel = SeaweedKernel::comb(&x, &compact);
+        return TraceNode {
+            values,
+            kernel,
+            kind: TraceKind::Leaf { items },
+        };
+    }
+    let half = items.len() / 2;
+    let hi_items = items[half..].to_vec();
+    let mut lo_items = items;
+    lo_items.truncate(half);
+    let lo = build_trace(lo_items);
+    let hi = build_trace(hi_items);
+    let compact_of = |subset: &[usize]| -> Vec<usize> {
+        subset
+            .iter()
+            .map(|&v| values.partition_point(|&u| u < v))
+            .collect()
+    };
+    let lo_inflated = lo
+        .kernel
+        .inflate_rows(&compact_of(&lo.values), values.len());
+    let hi_inflated = hi
+        .kernel
+        .inflate_rows(&compact_of(&hi.values), values.len());
+    let kernel = compose_horizontal(&lo_inflated, &hi_inflated);
+    TraceNode {
+        values,
+        kernel,
+        kind: TraceKind::Merge {
+            lo: Box::new(lo),
+            hi: Box::new(hi),
+        },
+    }
+}
+
+/// Pushes the query "a length-`t` increasing subsequence using global ranks in
+/// `[vlo, vhi)`" down the recorded tree, appending the chosen `(position,
+/// rank)` pairs in position order.
+fn trace_query(node: &TraceNode, vlo: usize, vhi: usize, t: usize, out: &mut Vec<(u32, u32)>) {
+    match &node.kind {
+        TraceKind::Leaf { items } => {
+            let chosen = lis_witness_in_rank_range(items, vlo as u32, vhi as u32);
+            assert_eq!(
+                chosen.len(),
+                t,
+                "leaf reconstruction must realize the split length"
+            );
+            out.extend(chosen);
+        }
+        TraceKind::Merge { lo, hi } => {
+            let (w, t_lo, t_hi) = split_window_lis(
+                (&lo.values, &lo.kernel),
+                (&hi.values, &hi.kernel),
+                vlo,
+                vhi,
+                t,
+            );
+            if t_lo > 0 {
+                trace_query(lo, vlo, w, t_lo, out);
+            }
+            if t_hi > 0 {
+                trace_query(hi, w, vhi, t_hi, out);
+            }
+        }
+    }
+}
+
+/// Positions of one longest strictly increasing subsequence of `seq`, via the
+/// traced seaweed kernel (the algorithmic path the MPC witness recovery
+/// parallelizes). For a plain sequential answer prefer
+/// [`crate::baselines::lis_values`].
+pub fn lis_witness<T: Ord>(seq: &[T]) -> Vec<usize> {
+    TracedLisKernel::new(seq).witness()
+}
+
 /// Semi-local LIS: answers `LIS(A[l..r))` for arbitrary windows after an
 /// `O(n log² n)` preprocessing (Corollary 1.3.2's sequential counterpart).
 #[derive(Clone, Debug)]
@@ -155,7 +435,19 @@ impl SemiLocalLis {
     }
 
     /// `LIS(A[l..r))` in `O(log² n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the window is invalid (`l > r` or `r > len`): the dominance
+    /// sum underneath would otherwise wrap into a meaningless count, so invalid
+    /// windows are rejected loudly instead of clamped. `l == r` is a valid
+    /// empty window and answers `0`.
     pub fn lis_window(&self, l: usize, r: usize) -> usize {
+        assert!(
+            l <= r && r <= self.len(),
+            "LIS window [{l}, {r}) is invalid for a sequence of length {}",
+            self.len()
+        );
         self.queries.lcs_window(l, r)
     }
 
@@ -282,6 +574,149 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn traced_witness_is_valid_and_maximal() {
+        // The traceback through the recorded merge tree must return positions of
+        // an actual longest strictly increasing subsequence — on permutations
+        // and on duplicate-heavy sequences alike.
+        let mut rng = StdRng::seed_from_u64(31);
+        for _ in 0..25 {
+            let n = rng.gen_range(0..220);
+            let seq: Vec<u32> = if rng.gen_bool(0.5) {
+                random_permutation(n, &mut rng)
+            } else {
+                (0..n).map(|_| rng.gen_range(0..12)).collect()
+            };
+            let positions = lis_witness(&seq);
+            assert_eq!(positions.len(), lis_length_patience(&seq), "{seq:?}");
+            assert!(positions.windows(2).all(|w| w[0] < w[1]), "{positions:?}");
+            assert!(
+                positions.windows(2).all(|w| seq[w[0]] < seq[w[1]]),
+                "witness not strictly increasing: {seq:?} {positions:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn traced_kernel_matches_untraced() {
+        let mut rng = StdRng::seed_from_u64(32);
+        for n in [1usize, 7, 33, 100, 150] {
+            let perm = random_permutation(n, &mut rng);
+            let traced = TracedLisKernel::new(&perm);
+            assert_eq!(traced.kernel().unwrap(), &lis_kernel(&perm), "n={n}");
+            assert_eq!(traced.lis_length(), lis_length_patience(&perm));
+        }
+        assert!(TracedLisKernel::new::<u32>(&[]).witness().is_empty());
+    }
+
+    #[test]
+    fn split_window_lis_splits_exactly() {
+        // Every merge split must hand down sub-lengths that add up and are
+        // realizable — exercised across value windows, not just the full range.
+        let mut rng = StdRng::seed_from_u64(33);
+        for _ in 0..20 {
+            let n = rng.gen_range(2..80);
+            let perm = random_permutation(n, &mut rng);
+            let half = n / 2;
+            let build = |part: &[u32]| {
+                let (relabelled, values) = relabel(part);
+                let x: Vec<u32> = (0..part.len() as u32).collect();
+                (values, SeaweedKernel::comb(&x, &relabelled))
+            };
+            let (lo_values, lo_kernel) = build(&perm[..half]);
+            let (hi_values, hi_kernel) = build(&perm[half..]);
+            for _ in 0..4 {
+                let vlo = rng.gen_range(0..n);
+                let vhi = rng.gen_range(vlo..=n);
+                let filtered: Vec<u32> = perm
+                    .iter()
+                    .copied()
+                    .filter(|&v| (vlo as u32..vhi as u32).contains(&v))
+                    .collect();
+                let t = lis_length_patience(&filtered);
+                if t == 0 {
+                    continue;
+                }
+                let (w, t_lo, t_hi) = split_window_lis(
+                    (&lo_values, &lo_kernel),
+                    (&hi_values, &hi_kernel),
+                    vlo,
+                    vhi,
+                    t,
+                );
+                assert_eq!(t_lo + t_hi, t);
+                assert!((vlo..=vhi).contains(&w), "threshold outside the window");
+                let lo_filtered: Vec<u32> = perm[..half]
+                    .iter()
+                    .copied()
+                    .filter(|&v| (vlo as u32..w as u32).contains(&v))
+                    .collect();
+                let hi_filtered: Vec<u32> = perm[half..]
+                    .iter()
+                    .copied()
+                    .filter(|&v| (w as u32..vhi as u32).contains(&v))
+                    .collect();
+                assert_eq!(lis_length_patience(&lo_filtered), t_lo, "perm={perm:?}");
+                assert_eq!(lis_length_patience(&hi_filtered), t_hi, "perm={perm:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn rank_ties_break_descending_by_position() {
+        // Equal values must rank right-to-left so a strict LIS can never take
+        // two of them; the inverted convention would rank [5, 5] as [0, 1] and
+        // count both.
+        assert_eq!(rank_sequence(&[5u32, 5]), vec![1, 0]);
+        assert_eq!(rank_sequence(&[7u32, 7, 7]), vec![2, 1, 0]);
+        assert_eq!(rank_sequence(&[2u32, 1, 2]), vec![2, 0, 1]);
+        // The convention is what keeps constant sequences at LIS 1.
+        assert_eq!(lis_length(&[9u32; 40]), 1);
+    }
+
+    #[test]
+    fn lis_window_degenerate_windows() {
+        let seq: Vec<u32> = vec![3, 1, 4, 1, 5];
+        let index = SemiLocalLis::new(&seq);
+        for l in 0..=seq.len() {
+            assert_eq!(index.lis_window(l, l), 0, "empty window [{l}, {l})");
+        }
+        assert_eq!(index.lis_window(0, seq.len()), 3);
+
+        // The empty sequence still builds and answers its only valid window.
+        let empty = SemiLocalLis::new::<u32>(&[]);
+        assert!(empty.is_empty());
+        assert_eq!(empty.lis_window(0, 0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "LIS window [4, 2) is invalid")]
+    fn lis_window_rejects_inverted_window() {
+        SemiLocalLis::new(&[1u32, 2, 3, 4, 5]).lis_window(4, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid for a sequence of length 5")]
+    fn lis_window_rejects_out_of_range_end() {
+        SemiLocalLis::new(&[1u32, 2, 3, 4, 5]).lis_window(1, 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid for a sequence of length 0")]
+    fn lis_window_rejects_out_of_range_on_empty() {
+        SemiLocalLis::new::<u32>(&[]).lis_window(0, 1);
+    }
+
+    #[test]
+    fn lis_witness_in_rank_range_respects_bounds() {
+        let items: Vec<(u32, u32)> = vec![(0, 4), (1, 0), (2, 5), (3, 2), (4, 3), (5, 1)];
+        let full = lis_witness_in_rank_range(&items, 0, 6);
+        assert_eq!(full.iter().map(|&(_, r)| r).collect::<Vec<_>>(), [0, 2, 3]);
+        let windowed = lis_witness_in_rank_range(&items, 2, 6);
+        assert_eq!(windowed.iter().map(|&(_, r)| r).collect::<Vec<_>>(), [2, 3]);
+        assert!(lis_witness_in_rank_range(&items, 6, 6).is_empty());
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //!
 //! Run with: `cargo run --release --example lcs_diff`
 
-use monge_mpc_suite::lis_mpc::lcs::lcs_mpc;
+use monge_mpc_suite::lis_mpc::lcs::lcs_witness_mpc;
 use monge_mpc_suite::monge_mpc::MulParams;
 use monge_mpc_suite::mpc_runtime::{Cluster, MpcConfig};
 use monge_mpc_suite::seaweed_lis::baselines::lcs_length_dp;
@@ -53,12 +53,20 @@ fn main() {
         let hs = lcs_via_lis(&a, &b);
         assert_eq!(dp, hs);
 
-        // MPC answer on a strict cluster sized for the corollary's Õ(n²)
-        // total-space regime; with a small vocabulary collision rate the
-        // actual pair count (and hence every load) stays near-linear.
+        // MPC answer — length *and* an actual common subsequence — on a strict
+        // cluster sized for the corollary's Õ(n²) total-space regime; with a
+        // small vocabulary collision rate the actual pair count (and hence
+        // every load) stays near-linear.
         let mut cluster = Cluster::new(MpcConfig::new(a.len() * b.len(), 0.5));
-        let (mpc, pairs) = lcs_mpc(&mut cluster, &a, &b, &MulParams::default());
-        assert_eq!(mpc, dp);
+        let outcome = lcs_witness_mpc(&mut cluster, &a, &b, &MulParams::default());
+        assert_eq!(outcome.length, dp);
+        // The witness really is a diff skeleton: matched (i, j) line pairs,
+        // ascending in both revisions, with equal content.
+        assert!(outcome.witness.iter().all(|&(i, j)| a[i] == b[j]));
+        assert!(outcome
+            .witness
+            .windows(2)
+            .all(|w| w[0].0 < w[1].0 && w[0].1 < w[1].1));
 
         let unchanged = 100.0 * dp as f64 / a.len() as f64;
         println!(
@@ -68,8 +76,15 @@ fn main() {
             b.len(),
             mutation * 100.0,
             dp,
-            pairs,
+            outcome.pairs,
             cluster.rounds(),
         );
+        let sample: Vec<String> = outcome
+            .witness
+            .iter()
+            .take(3)
+            .map(|&(i, j)| format!("a[{i}] == b[{j}] (line {:x})", a[i]))
+            .collect();
+        println!("      unchanged-line witness starts: {}", sample.join(", "));
     }
 }

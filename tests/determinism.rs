@@ -9,7 +9,7 @@
 //! `=4`) runs this same suite through the env-var path; here the thread count
 //! is varied in-process through `ThreadPool::install`.
 
-use monge_mpc_suite::lis_mpc::lis_kernel_mpc;
+use monge_mpc_suite::lis_mpc::lis_witness_mpc;
 use monge_mpc_suite::monge::PermutationMatrix;
 use monge_mpc_suite::monge_mpc::{self, MulParams};
 use monge_mpc_suite::mpc_runtime::{Cluster, Ledger, MpcConfig};
@@ -31,8 +31,18 @@ fn noisy_sequence(n: usize, seed: u64) -> Vec<u32> {
 }
 
 /// The full end-to-end workload: one forced-recursion ⊡ multiplication and one
-/// multi-level MPC LIS, returning everything that must be invariant.
-fn workload() -> (PermutationMatrix, Ledger, usize, SeaweedKernel, Ledger) {
+/// multi-level MPC LIS *with witness recovery*, returning everything that must
+/// be invariant (the recovered witness positions included — the traceback's
+/// splits and base reconstructions must not depend on scheduling).
+#[allow(clippy::type_complexity)]
+fn workload() -> (
+    PermutationMatrix,
+    Ledger,
+    usize,
+    SeaweedKernel,
+    Ledger,
+    Vec<usize>,
+) {
     // Multiplication with several split/combine levels.
     let n = 300;
     let a = random_permutation(n, 0xA11CE);
@@ -46,10 +56,11 @@ fn workload() -> (PermutationMatrix, Ledger, usize, SeaweedKernel, Ledger) {
     let mul_ledger = mul_cluster.ledger().clone();
 
     // LIS with several merge levels (a large δ shrinks the strict budget and
-    // forces depth; the space-conformant pipeline runs violation-free).
+    // forces depth; the space-conformant pipeline runs violation-free), with
+    // the witness traceback on top.
     let seq = noisy_sequence(600, 0xC0DE);
     let mut lis_cluster = Cluster::new(MpcConfig::new(seq.len(), 0.75));
-    let outcome = lis_kernel_mpc(&mut lis_cluster, &seq, &MulParams::default());
+    let outcome = lis_witness_mpc(&mut lis_cluster, &seq, &MulParams::default());
     let lis_ledger = lis_cluster.ledger().clone();
 
     (
@@ -58,6 +69,7 @@ fn workload() -> (PermutationMatrix, Ledger, usize, SeaweedKernel, Ledger) {
         outcome.length,
         outcome.kernel,
         lis_ledger,
+        outcome.witness.expect("witness requested"),
     )
 }
 
@@ -94,17 +106,26 @@ fn outputs_and_ledgers_identical_across_thread_counts() {
             baseline.4, run.4,
             "LIS ledger diverged at {threads} threads"
         );
+        assert_eq!(
+            baseline.5, run.5,
+            "LIS witness diverged at {threads} threads"
+        );
     }
 }
 
 #[test]
 fn ledger_totals_are_nontrivial() {
     // Guard against the determinism test passing vacuously on empty ledgers.
-    let (_, mul_ledger, lis_len, _, lis_ledger) = workload();
+    let (_, mul_ledger, lis_len, _, lis_ledger, witness) = workload();
     assert!(mul_ledger.rounds > 0 && mul_ledger.communication > 0);
     assert!(!mul_ledger.rounds_by_phase.is_empty());
     assert!(!mul_ledger.primitive_counts.is_empty());
     assert!(lis_ledger.rounds > 0 && lis_len > 0);
+    assert_eq!(witness.len(), lis_len);
+    assert!(lis_ledger
+        .rounds_by_phase
+        .keys()
+        .any(|k| k.starts_with("lis-witness-")));
 }
 
 #[test]
@@ -118,4 +139,5 @@ fn env_thread_count_matches_install_path() {
     assert_eq!(ambient.2, sequential.2);
     assert_eq!(ambient.3, sequential.3);
     assert_eq!(ambient.4, sequential.4);
+    assert_eq!(ambient.5, sequential.5);
 }

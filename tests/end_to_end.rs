@@ -76,6 +76,50 @@ fn mpc_lis_agrees_with_every_sequential_path() {
 }
 
 #[test]
+fn witness_recovery_agrees_with_every_sequential_path() {
+    // End to end: the MPC witness, the sequential traced-kernel witness and the
+    // patience baseline must all be maximal and genuinely increasing, and the
+    // MPC traceback must stay within 2× of the length-only rounds.
+    let mut rng = StdRng::seed_from_u64(107);
+    for &n in &[60usize, 300, 800] {
+        let seq: Vec<u32> = (0..n).map(|_| rng.gen_range(0..2_000)).collect();
+        let patience = lis_length_patience(&seq);
+
+        let mut plain = Cluster::new(MpcConfig::new(n, 0.7));
+        let _ = lis_mpc::lis_kernel_mpc(&mut plain, &seq, &MulParams::default());
+
+        let mut cluster = Cluster::new(MpcConfig::new(n, 0.7));
+        let outcome = lis_mpc::lis_witness_mpc(&mut cluster, &seq, &MulParams::default());
+        let witness = outcome.witness.expect("witness requested");
+        assert_eq!(witness.len(), patience);
+        assert!(witness.windows(2).all(|w| seq[w[0]] < seq[w[1]]));
+        assert_eq!(cluster.ledger().space_violations, 0);
+        assert!(
+            cluster.rounds() <= 2 * plain.rounds(),
+            "traceback round blow-up"
+        );
+
+        let sequential = seaweed_lis::lis::lis_witness(&seq);
+        assert_eq!(sequential.len(), patience);
+        assert!(sequential.windows(2).all(|w| seq[w[0]] < seq[w[1]]));
+    }
+
+    // LCS witness: a genuine common subsequence of both strings.
+    let a: Vec<u32> = (0..80).map(|_| rng.gen_range(0..12)).collect();
+    let b: Vec<u32> = (0..80).map(|_| rng.gen_range(0..12)).collect();
+    let mut cluster = Cluster::new(MpcConfig::new(a.len() * b.len(), 0.6));
+    let outcome = lis_mpc::lcs::lcs_witness_mpc(&mut cluster, &a, &b, &MulParams::default());
+    assert_eq!(outcome.length, lcs_length_dp(&a, &b));
+    assert_eq!(outcome.witness.len(), outcome.length);
+    assert!(outcome.witness.iter().all(|&(i, j)| a[i] == b[j]));
+    assert!(outcome
+        .witness
+        .windows(2)
+        .all(|w| w[0].0 < w[1].0 && w[0].1 < w[1].1));
+    assert_eq!(cluster.ledger().space_violations, 0);
+}
+
+#[test]
 fn mpc_lcs_agrees_with_dp() {
     let mut rng = StdRng::seed_from_u64(103);
     for _ in 0..5 {

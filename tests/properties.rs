@@ -216,4 +216,71 @@ proptest! {
         let index = seaweed_lis::lis::SemiLocalLis::new(&seq);
         prop_assert_eq!(index.lis_window(l, r), lis_length_patience(&seq[l..r]));
     }
+
+    /// Duplicate-heavy differential test: MPC LIS vs the patience baseline on a
+    /// tiny alphabet, where nearly every element ties. This is the test that
+    /// catches an inverted `rank_sequence` tie convention — ranking equal values
+    /// ascending by position would let a strict LIS take two copies of the same
+    /// value and overshoot on almost every such input.
+    #[test]
+    fn mpc_lis_matches_patience_on_duplicate_heavy(seq in sequence(160, 3),
+                                                   delta_tenths in 3usize..9) {
+        let n = seq.len().max(4);
+        let delta = delta_tenths as f64 / 10.0;
+        let mut cluster = Cluster::new(MpcConfig::new(n, delta));
+        let got = lis_mpc::lis_length_mpc(&mut cluster, &seq, &MulParams::default());
+        prop_assert_eq!(got, lis_length_patience(&seq), "{:?}", seq);
+    }
+
+    /// Witness validity (Theorem 1.3 structured output): the recovered LIS is a
+    /// strictly increasing subsequence of the input with exactly the kernel's
+    /// length, on strict clusters across δ (and hence merge depths).
+    #[test]
+    fn mpc_lis_witness_is_valid(seq in sequence(150, 40), delta_tenths in 3usize..9) {
+        let n = seq.len().max(4);
+        let delta = delta_tenths as f64 / 10.0;
+        let mut cluster = Cluster::new(MpcConfig::new(n, delta));
+        let outcome = lis_mpc::lis_witness_mpc(&mut cluster, &seq, &MulParams::default());
+        let witness = outcome.witness.expect("witness requested");
+        prop_assert_eq!(outcome.length, lis_length_patience(&seq));
+        prop_assert_eq!(witness.len(), outcome.length);
+        prop_assert!(witness.windows(2).all(|w| w[0] < w[1]), "positions not ascending");
+        prop_assert!(witness.iter().all(|&p| p < seq.len()), "position out of range");
+        prop_assert!(witness.windows(2).all(|w| seq[w[0]] < seq[w[1]]),
+                     "values not strictly increasing: {:?} {:?}", seq, witness);
+        prop_assert_eq!(cluster.ledger().space_violations, 0);
+    }
+
+    /// The distributed witness agrees in length with the sequential traced
+    /// kernel's witness (both must be maximal; the subsequences themselves may
+    /// differ, since witnesses are not unique).
+    #[test]
+    fn mpc_lis_witness_matches_traced_sequential(seq in sequence(120, 20),
+                                                 delta_tenths in 4usize..8) {
+        let n = seq.len().max(4);
+        let delta = delta_tenths as f64 / 10.0;
+        let mut cluster = Cluster::new(MpcConfig::new(n, delta));
+        let outcome = lis_mpc::lis_witness_mpc(&mut cluster, &seq, &MulParams::default());
+        let sequential = seaweed_lis::lis::lis_witness(&seq);
+        prop_assert_eq!(outcome.witness.expect("witness requested").len(), sequential.len());
+    }
+
+    /// LCS witness validity (Corollary 1.3.1 structured output): the recovered
+    /// pairs form a genuine common subsequence of both inputs with exactly the
+    /// DP length, on strict clusters sized for the pair regime.
+    #[test]
+    fn mpc_lcs_witness_is_valid(a in sequence(36, 5), b in sequence(36, 5),
+                                delta_tenths in 3usize..8) {
+        let total = (a.len() * b.len()).max(4);
+        let delta = delta_tenths as f64 / 10.0;
+        let mut cluster = Cluster::new(MpcConfig::new(total, delta));
+        let outcome = lis_mpc::lcs_witness_mpc(&mut cluster, &a, &b, &MulParams::default());
+        prop_assert_eq!(outcome.length, lcs_length_dp(&a, &b));
+        prop_assert_eq!(outcome.witness.len(), outcome.length);
+        prop_assert!(outcome.witness.windows(2).all(|w| w[0].0 < w[1].0 && w[0].1 < w[1].1),
+                     "indices not strictly ascending in both strings");
+        prop_assert!(outcome.witness.iter().all(|&(i, j)| a[i] == b[j]),
+                     "not a common subsequence: {:?} {:?} {:?}", a, b, outcome.witness);
+        prop_assert_eq!(cluster.ledger().space_violations, 0);
+    }
 }

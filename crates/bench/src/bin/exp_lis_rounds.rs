@@ -5,7 +5,10 @@
 //! space-conformant pipeline. Each size also runs the witness-enabled pipeline
 //! (`lis_witness_mpc`): the `wit rounds` / `wit ratio` columns track the
 //! traceback's overhead over length-only, asserted ≤ 2× (the recovered witness
-//! is validated against the input on every row).
+//! is validated against the input on every row). A third run per size injects
+//! a machine kill mid-merge (`rec rounds` / `rec ratio` columns): checkpoint
+//! replication plus the repair must reproduce the fault-free outputs bit for
+//! bit at ≤ 2× the length-only rounds, with zero space violations.
 //!
 //! Run with: `cargo run --release -p bench --bin exp_lis_rounds
 //! [-- --json --threads N --max-n N]` (the size grid doubles from 2^11 up to
@@ -14,7 +17,7 @@
 use bench_suite::{json_envelope, noisy_trend, size_sweep, ExpOpts, Table};
 use lis_mpc::{lis_kernel_mpc, lis_witness_mpc};
 use monge_mpc::MulParams;
-use mpc_runtime::{Cluster, MpcConfig};
+use mpc_runtime::{Cluster, FaultPlan, MpcConfig};
 use seaweed_lis::baselines::lis_length_patience;
 
 fn main() {
@@ -33,6 +36,8 @@ fn main() {
         "violations",
         "wit rounds",
         "wit ratio",
+        "rec rounds",
+        "rec ratio",
     ]);
     let mut samples = Vec::new();
     let mut sizes = size_sweep(1 << 11, 1 << 15, opts.max_n);
@@ -66,6 +71,42 @@ fn main() {
             "witness recovery overhead {ratio:.2}× exceeds 2× at n = {n}"
         );
 
+        // Fault-injected pipeline: kill machine 0 (owner of node 0 of every
+        // merge level) mid-way through the merge phase and recover. Outputs
+        // must be bit-identical to the fault-free witness run; the recovery
+        // overhead (checkpoint replication + one repair) stays ≤ 2×.
+        let (lo, hi) = witness_cluster
+            .ledger()
+            .superstep_span_of("lis-merge-L")
+            .expect("merge levels present");
+        let plan = FaultPlan::kill(0, lo + (hi - lo) / 2);
+        let mut recovery_cluster =
+            Cluster::new(MpcConfig::new(n, delta).recording().with_faults(plan));
+        let recovered = lis_witness_mpc(&mut recovery_cluster, &seq, &MulParams::default());
+        assert_eq!(recovered.length, expected, "recovered length at n = {n}");
+        assert_eq!(
+            recovered.kernel, traced.kernel,
+            "recovered kernel diverged at n = {n}"
+        );
+        assert_eq!(
+            recovered.witness.as_deref(),
+            Some(witness.as_slice()),
+            "recovered witness diverged at n = {n}"
+        );
+        assert_eq!(recovery_cluster.ledger().kills(), 1, "the kill must fire");
+        assert_eq!(
+            recovery_cluster.ledger().space_violations,
+            0,
+            "recovery must stay space-conformant at n = {n}"
+        );
+        let recovery_rounds = recovery_cluster.rounds();
+        // Overhead against the witness run it recovers (same work + faults).
+        let recovery_ratio = recovery_rounds as f64 / witness_rounds.max(1) as f64;
+        assert!(
+            recovery_ratio <= 2.0,
+            "recovery overhead {recovery_ratio:.2}× exceeds 2× at n = {n}"
+        );
+
         let ledger = cluster.ledger();
         samples.push(((n as f64).log2(), rounds as f64));
         table.row(vec![
@@ -81,6 +122,8 @@ fn main() {
             ledger.space_violations.to_string(),
             witness_rounds.to_string(),
             format!("{ratio:.2}"),
+            recovery_rounds.to_string(),
+            format!("{recovery_ratio:.2}"),
         ]);
     }
     // Least-squares fit rounds = a·log2(n) + b (degenerate with one sample:
@@ -120,6 +163,8 @@ fn main() {
          must be all-zero: the pipeline is space-conformant (budget-sized base blocks,\n\
          ordinal-multicast routing), which the CI strict leg asserts. The wit columns run\n\
          the witness-enabled pipeline (recorded merge tree + top-down traceback): its round\n\
-         overhead over length-only is asserted ≤ 2× on every row."
+         overhead over length-only is asserted ≤ 2× on every row. The rec columns re-run the\n\
+         witness pipeline with machine 0 killed mid-merge: level checkpoints + O(1)-round\n\
+         repair reproduce the fault-free outputs bit for bit, also asserted ≤ 2×."
     );
 }

@@ -28,12 +28,25 @@
 //! index pairs, via the [`witness`] top-down traceback over the recorded merge
 //! tree — `O(log n)` extra rounds under `lis-witness-L<k>` ledger scopes, still
 //! strict.
+//!
+//! Both pipelines are also **fault-tolerant**: under a kill schedule
+//! ([`mpc_runtime::MpcConfig::with_faults`]) every merge level's nodes double
+//! as checkpoints replicated onto neighbor machines, and a machine crash at
+//! any level is repaired by re-deriving the lost shard from the level below —
+//! re-combing base blocks from the durable input (`recovery-base` scope) or
+//! re-running the lost pairs' `⊡` merges from the level-(L−1) checkpoints
+//! (`recovery-L<k>`), in `O(1)` extra rounds per fault. Straggler delays are
+//! absorbed by the superstep barrier and charged to
+//! [`mpc_runtime::Ledger::stall_rounds`]. Recovered lengths and witnesses are
+//! bit-identical to the fault-free run, still strict (the private `recovery`
+//! module documents the placement and repair rules).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod lcs;
 pub mod lis;
+mod recovery;
 pub mod witness;
 
 pub use lcs::{lcs_length_mpc, lcs_witness_mpc, MpcLcsOutcome};

@@ -23,6 +23,7 @@
 //! violations. The final kernel answers every semi-local (window) LIS query; the
 //! global LIS length is read off the full window.
 
+use crate::recovery;
 use crate::witness::{self, Provenance, TraceNode, WitnessTrace};
 use monge::PermutationMatrix;
 use monge_mpc::MulParams;
@@ -50,11 +51,107 @@ pub struct MpcLisOutcome {
 /// One block of the divide and conquer: its kernel is over the compact alphabet of
 /// the block's own values; `values` maps that alphabet back to global ranks.
 #[derive(Clone, Debug)]
-struct Block {
+pub(crate) struct Block {
     /// Sorted global ranks of the values occurring in this block.
-    values: Vec<usize>,
+    pub(crate) values: Vec<usize>,
     /// Kernel of (identity over `values`, block contents).
-    kernel: SeaweedKernel,
+    pub(crate) kernel: SeaweedKernel,
+}
+
+/// Entry tags for the base-phase kernel emission: a block's sorted value set…
+const KIND_VALUE: u8 = 0;
+/// …and its kernel's entry → exit rows.
+const KIND_EXIT: u8 = 1;
+
+/// Combs one base block locally (in budget-bounded streamed sub-blocks) and
+/// emits its checkpoint as `(block, kind, index, value)` entries — the shared
+/// kernel of the base phase and of `recovery-base` re-combing.
+pub(crate) fn comb_block_entries(
+    block_id: u32,
+    mut items: Vec<(u32, u32)>,
+    chunk: usize,
+) -> Vec<(u32, u8, u32, u32)> {
+    items.sort_unstable_by_key(|&(pos, _)| pos);
+    let block_values: Vec<u32> = items.iter().map(|&(_, r)| r).collect();
+    let mut values: Vec<u32> = block_values.clone();
+    values.sort_unstable();
+    let relabelled: Vec<u32> = block_values
+        .iter()
+        .map(|&r| values.partition_point(|&v| v < r) as u32)
+        .collect();
+    let kernel = lis_kernel_permutation_streamed(&relabelled, chunk);
+    let mut out = Vec::with_capacity(3 * values.len());
+    for (i, &v) in values.iter().enumerate() {
+        out.push((block_id, KIND_VALUE, i as u32, v));
+    }
+    for e in 0..kernel.permutation().size() {
+        out.push((block_id, KIND_EXIT, e as u32, kernel.exit_of(e) as u32));
+    }
+    out
+}
+
+/// Rebuilds [`Block`]s from collected base-phase entries, keyed by block id
+/// (ids need not be contiguous — recovery re-combs a sparse subset).
+pub(crate) fn blocks_from_entries(mut flat: Vec<(u32, u8, u32, u32)>) -> Vec<(u32, Block)> {
+    flat.sort_unstable();
+    let mut blocks = Vec::new();
+    let mut i = 0;
+    while i < flat.len() {
+        let block_id = flat[i].0;
+        let mut values = Vec::new();
+        let mut exits = Vec::new();
+        while i < flat.len() && flat[i].0 == block_id {
+            let (_, kind, _, val) = flat[i];
+            match kind {
+                KIND_VALUE => values.push(val as usize),
+                _ => exits.push(val),
+            }
+            i += 1;
+        }
+        let m = values.len();
+        debug_assert_eq!(exits.len(), 2 * m);
+        blocks.push((
+            block_id,
+            Block {
+                values,
+                kernel: SeaweedKernel::from_parts(m, m, PermutationMatrix::from_rows(exits)),
+            },
+        ));
+    }
+    blocks
+}
+
+/// The relabel-and-pad step of one pairwise merge, shared by the merge loop
+/// and by `recovery-L<k>` re-derivation: both kernels inflated to the union
+/// alphabet, plus the padded `⊡` operands.
+pub(crate) struct MergePrep {
+    /// Left child's kernel over the union alphabet.
+    pub(crate) lo_inflated: SeaweedKernel,
+    /// Right child's kernel over the union alphabet.
+    pub(crate) hi_inflated: SeaweedKernel,
+    /// Union of the children's sorted value sets.
+    pub(crate) union: Vec<usize>,
+    /// Padded operands for [`monge_mpc::mul_batch`].
+    pub(crate) operands: (PermutationMatrix, PermutationMatrix),
+}
+
+/// Prepares one pair's merge (the §4.2 "relabel A_lo and A_hi" step).
+pub(crate) fn prepare_merge(
+    lo_values: &[usize],
+    lo_kernel: &SeaweedKernel,
+    hi_values: &[usize],
+    hi_kernel: &SeaweedKernel,
+) -> MergePrep {
+    let union: Vec<usize> = merge_sorted(lo_values, hi_values);
+    let lo_inflated = lo_kernel.inflate_rows(&positions_in(&union, lo_values), union.len());
+    let hi_inflated = hi_kernel.inflate_rows(&positions_in(&union, hi_values), union.len());
+    let operands = compose_operands(&lo_inflated, &hi_inflated);
+    MergePrep {
+        lo_inflated,
+        hi_inflated,
+        union,
+        operands,
+    }
 }
 
 /// Derives the base block size from the per-machine budget (the one place the
@@ -158,6 +255,16 @@ fn pipeline<T: Ord>(
         );
     }
 
+    // Fault tolerance: with kills scheduled, every level's nodes double as
+    // checkpoints and are replicated onto neighbor machines; kills drained via
+    // `poll_kills` destroy the lost shards, which are re-derived under
+    // `recovery-*` scopes (see `crate::recovery`). Delays need no response —
+    // the barrier absorbs them. `with_checkpoints` forces the replication
+    // charges without faults, to measure the checkpoint overhead in isolation.
+    let fault_tolerant = cluster.config().faults.has_kills();
+    let replicate = fault_tolerant || cluster.config().checkpoints;
+    let checkpoint = record || replicate;
+
     // Step 1: ranking. One sort of (value, position) pairs (Lemma 2.5) plus an
     // inverse permutation (Lemma 2.3).
     cluster.set_phase(Some("lis-rank"));
@@ -179,64 +286,36 @@ fn pipeline<T: Ord>(
             .map(|(i, &r)| (i as u32, r))
             .collect::<Vec<_>>(),
     );
-    const KIND_VALUE: u8 = 0;
-    const KIND_EXIT: u8 = 1;
     let entries = {
         let bs = block_size as u32;
         cluster.group_map(
             positions,
             move |&(pos, _)| pos / bs,
-            move |&block_id, mut items| {
-                items.sort_unstable_by_key(|&(pos, _)| pos);
-                let block_values: Vec<u32> = items.iter().map(|&(_, r)| r).collect();
-                let mut values: Vec<u32> = block_values.clone();
-                values.sort_unstable();
-                let relabelled: Vec<u32> = block_values
-                    .iter()
-                    .map(|&r| values.partition_point(|&v| v < r) as u32)
-                    .collect();
-                let kernel = lis_kernel_permutation_streamed(&relabelled, chunk);
-                let mut out = Vec::with_capacity(3 * values.len());
-                for (i, &v) in values.iter().enumerate() {
-                    out.push((block_id, KIND_VALUE, i as u32, v));
-                }
-                for e in 0..kernel.permutation().size() {
-                    out.push((block_id, KIND_EXIT, e as u32, kernel.exit_of(e) as u32));
-                }
-                out
-            },
+            move |&block_id, items| comb_block_entries(block_id, items, chunk),
         )
     };
-    let mut blocks: Vec<Block> = {
-        let mut flat = cluster.collect(entries);
-        flat.sort_unstable();
-        let mut blocks = Vec::new();
-        let mut i = 0;
-        while i < flat.len() {
-            let block_id = flat[i].0;
-            let mut values = Vec::new();
-            let mut exits = Vec::new();
-            while i < flat.len() && flat[i].0 == block_id {
-                let (_, kind, _, val) = flat[i];
-                match kind {
-                    KIND_VALUE => values.push(val as usize),
-                    _ => exits.push(val),
-                }
-                i += 1;
+    let mut blocks: Vec<Block> = blocks_from_entries(cluster.collect(entries))
+        .into_iter()
+        .map(|(_, b)| b)
+        .collect();
+
+    // Kills fired during ranking or base combing destroyed base blocks before
+    // any checkpoint existed; re-comb them from the durable input. The loop
+    // re-polls because the repair's own barriers can fire further events.
+    if fault_tolerant {
+        loop {
+            let killed = cluster.poll_kills();
+            if killed.is_empty() {
+                break;
             }
-            let m = values.len();
-            debug_assert_eq!(exits.len(), 2 * m);
-            blocks.push(Block {
-                values,
-                kernel: SeaweedKernel::from_parts(m, m, PermutationMatrix::from_rows(exits)),
-            });
+            recovery::repair_base(cluster, &mut blocks, &ranks, block_size, chunk, &killed);
         }
-        blocks
-    };
+        cluster.set_phase(Some("lis-base"));
+    }
 
     // Witness traceback checkpoints: level 0 = the base blocks as combed.
     let mut trace_levels: Vec<Vec<TraceNode>> = Vec::new();
-    if record {
+    if checkpoint {
         trace_levels.push(
             blocks
                 .iter()
@@ -248,6 +327,9 @@ fn pipeline<T: Ord>(
                 })
                 .collect(),
         );
+    }
+    if replicate {
+        recovery::checkpoint_blocks(cluster, &blocks);
     }
 
     // Step 3: pairwise merge levels, each under its own ledger scope so the
@@ -269,16 +351,9 @@ fn pipeline<T: Ord>(
         while let Some(lo) = iter.next() {
             match iter.next() {
                 Some(hi) => {
-                    let union: Vec<usize> = merge_sorted(&lo.values, &hi.values);
-                    let lo_inflated = lo
-                        .kernel
-                        .inflate_rows(&positions_in(&union, &lo.values), union.len());
-                    let hi_inflated = hi
-                        .kernel
-                        .inflate_rows(&positions_in(&union, &hi.values), union.len());
-                    let (p1, p2) = compose_operands(&lo_inflated, &hi_inflated);
-                    pairs.push((p1, p2));
-                    merged_meta.push((lo_inflated, hi_inflated, union));
+                    let prep = prepare_merge(&lo.values, &lo.kernel, &hi.values, &hi.kernel);
+                    pairs.push(prep.operands);
+                    merged_meta.push((prep.lo_inflated, prep.hi_inflated, prep.union));
                 }
                 None => leftover = Some(lo),
             }
@@ -297,7 +372,26 @@ fn pipeline<T: Ord>(
         if let Some(b) = leftover {
             next.push(b);
         }
-        if record {
+        // Kills fired during this level's barriers destroyed nodes under
+        // construction; re-derive them from the level-(L−1) checkpoints.
+        if fault_tolerant {
+            loop {
+                let killed = cluster.poll_kills();
+                if killed.is_empty() {
+                    break;
+                }
+                recovery::repair_level(
+                    cluster,
+                    &mut next,
+                    &trace_levels[levels - 1],
+                    levels,
+                    &killed,
+                    params,
+                );
+            }
+            cluster.set_phase_scope(Some(format!("lis-merge-L{levels}")));
+        }
+        if checkpoint {
             // Provenance mirrors the construction order: pair p merged children
             // (2p, 2p+1) of the previous level; an odd leftover passed through.
             let prev_len = trace_levels.last().expect("level 0 recorded").len();
@@ -319,11 +413,29 @@ fn pipeline<T: Ord>(
                     .collect(),
             );
         }
+        if replicate {
+            recovery::checkpoint_blocks(cluster, &next);
+        }
         blocks = next;
     }
     cluster.set_phase_scope(None::<String>);
 
     let root = blocks.pop().expect("at least one block");
+    // A kill landing after the final merge can take the root itself (node 0
+    // lives on machine 0); its checkpoint replica restores it in one shuffle.
+    if fault_tolerant {
+        let killed = cluster.poll_kills();
+        if killed.contains(&0) {
+            cluster.set_phase_scope(Some("recovery-root"));
+            cluster.set_phase(Some("restore"));
+            cluster.charge_superstep(
+                "restore",
+                costs::RESTORE,
+                (root.values.len() + root.kernel.checkpoint_entries()) as u64,
+            );
+            cluster.set_phase_scope(None::<String>);
+        }
+    }
     debug_assert_eq!(root.kernel.y_len(), n);
     let length = root.kernel.lcs_window(0, n);
     cluster.set_phase(None::<String>);
@@ -601,6 +713,106 @@ mod tests {
         let outcome = lis_witness_mpc(&mut cluster, &[3u32; 64], &MulParams::default());
         assert_eq!(outcome.length, 1);
         assert_eq!(outcome.witness.unwrap().len(), 1);
+    }
+
+    #[test]
+    fn single_kill_at_each_merge_level_recovers_bit_identically() {
+        use mpc_runtime::FaultPlan;
+        let mut rng = StdRng::seed_from_u64(21);
+        let n = 512;
+        let mut seq: Vec<u32> = (0..n as u32).collect();
+        seq.shuffle(&mut rng);
+        // Probe run: fault-free, to locate each merge level's superstep span.
+        let mut probe = strict_cluster(n, 0.75);
+        let baseline = lis_witness_mpc(&mut probe, &seq, &MulParams::default());
+        let base_rounds = probe.rounds();
+        assert!(baseline.levels >= 2);
+        for level in 1..=baseline.levels {
+            let (lo, hi) = probe
+                .ledger()
+                .superstep_span_of(&format!("lis-merge-L{level}/"))
+                .expect("level ran");
+            // Kill machine 0 mid-level: node 0 of every level lives there, so
+            // the repair path genuinely re-derives (and the root restore runs
+            // when the kill lands after the final merge).
+            let plan = FaultPlan::kill(0, ((lo + hi) / 2).max(1));
+            let mut faulty = Cluster::new(MpcConfig::new(n, 0.75).with_faults(plan));
+            let outcome = lis_witness_mpc(&mut faulty, &seq, &MulParams::default());
+            assert_eq!(outcome.length, baseline.length, "level {level}");
+            assert_eq!(outcome.kernel, baseline.kernel, "level {level}");
+            assert_eq!(outcome.witness, baseline.witness, "level {level}");
+            let ledger = faulty.ledger();
+            assert_eq!(ledger.kills(), 1, "level {level}");
+            assert_eq!(ledger.space_violations, 0, "level {level}");
+            assert!(
+                faulty.rounds() <= 2 * base_rounds,
+                "recovery overhead at level {level}: {} vs {base_rounds}",
+                faulty.rounds()
+            );
+        }
+    }
+
+    #[test]
+    fn kill_during_base_phase_recombs_from_input() {
+        use mpc_runtime::FaultPlan;
+        let mut rng = StdRng::seed_from_u64(22);
+        let seq: Vec<u32> = (0..400).map(|_| rng.gen_range(0..80) as u32).collect();
+        let mut probe = strict_cluster(seq.len(), 0.7);
+        let baseline = lis_witness_mpc(&mut probe, &seq, &MulParams::default());
+        // Superstep 1 is the rank sort; 2 the base group_map — both before any
+        // checkpoint exists, so recovery must re-comb from the input.
+        for at in [1, 2] {
+            let mut faulty =
+                Cluster::new(MpcConfig::new(seq.len(), 0.7).with_faults(FaultPlan::kill(0, at)));
+            let outcome = lis_witness_mpc(&mut faulty, &seq, &MulParams::default());
+            assert_eq!(outcome.length, baseline.length, "superstep {at}");
+            assert_eq!(outcome.witness, baseline.witness, "superstep {at}");
+            assert_eq!(faulty.ledger().space_violations, 0);
+            assert!(faulty
+                .ledger()
+                .rounds_by_phase
+                .keys()
+                .any(|k| k.starts_with("recovery-base/")));
+        }
+    }
+
+    #[test]
+    fn straggler_delays_cost_stalls_not_rounds() {
+        use mpc_runtime::FaultPlan;
+        let mut rng = StdRng::seed_from_u64(23);
+        let mut seq: Vec<u32> = (0..300).collect();
+        seq.shuffle(&mut rng);
+        let mut plain = strict_cluster(300, 0.7);
+        let baseline = lis_witness_mpc(&mut plain, &seq, &MulParams::default());
+        let plan = FaultPlan::delay(0, 2, 4).and_delay(1, 7, 3);
+        let mut delayed = Cluster::new(MpcConfig::new(300, 0.7).with_faults(plan));
+        let outcome = lis_witness_mpc(&mut delayed, &seq, &MulParams::default());
+        assert_eq!(outcome.length, baseline.length);
+        assert_eq!(outcome.kernel, baseline.kernel);
+        assert_eq!(outcome.witness, baseline.witness);
+        // Delay-only plans neither checkpoint nor recover: the synchronous
+        // round count is exactly the fault-free one, the stall is ledgered.
+        assert_eq!(delayed.rounds(), plain.rounds());
+        assert_eq!(delayed.ledger().stall_rounds, 7);
+        assert_eq!(delayed.ledger().fault_events.len(), 2);
+    }
+
+    #[test]
+    fn forced_checkpoints_charge_replication_without_faults() {
+        let mut rng = StdRng::seed_from_u64(24);
+        let mut seq: Vec<u32> = (0..512).collect();
+        seq.shuffle(&mut rng);
+        let mut plain = strict_cluster(512, 0.75);
+        let baseline = lis_kernel_mpc(&mut plain, &seq, &MulParams::default());
+        let mut ckpt = Cluster::new(MpcConfig::new(512, 0.75).with_checkpoints(true));
+        let outcome = lis_kernel_mpc(&mut ckpt, &seq, &MulParams::default());
+        assert_eq!(outcome.kernel, baseline.kernel);
+        // One CHECKPOINT superstep per produced level (base + every merge).
+        assert_eq!(
+            ckpt.rounds() - plain.rounds(),
+            (baseline.levels as u64 + 1) * costs::CHECKPOINT
+        );
+        assert_eq!(ckpt.ledger().space_violations, 0);
     }
 
     #[test]

@@ -37,6 +37,7 @@
 //! merge cost on the way up (the `exp_lis_rounds` harness asserts ≤ 2×
 //! overall).
 
+use crate::recovery;
 use mpc_runtime::{costs, Cluster};
 use seaweed_lis::kernel::SeaweedKernel;
 use seaweed_lis::lis::{lis_witness_in_rank_range, split_window_lis};
@@ -127,6 +128,20 @@ pub(crate) fn recover(cluster: &mut Cluster, trace: &WitnessTrace, length: usize
         // The pruned sub-queries leave for their child nodes' machines.
         cluster.charge_rounds("witness-route", costs::SHUFFLE);
 
+        // A kill during this level's barriers costs one replica restore of the
+        // lost checkpoints; the in-flight split queries are re-derived
+        // deterministically from the level above (see `crate::recovery`).
+        let killed = cluster.poll_kills();
+        if !killed.is_empty() {
+            recovery::restore_for_witness(
+                cluster,
+                children,
+                &killed,
+                &format!("recovery-witness-L{level}"),
+            );
+            cluster.set_phase_scope(Some(format!("lis-witness-L{level}")));
+        }
+
         let mut next: Vec<Query> = Vec::with_capacity(2 * queries.len());
         for (idx, vlo, vhi, t) in queries.drain(..) {
             match nodes[idx].prov {
@@ -197,6 +212,14 @@ pub(crate) fn recover(cluster: &mut Cluster, trace: &WitnessTrace, length: usize
             out
         },
     );
+
+    // A kill during the base reconstruction restores the lost level-0
+    // checkpoints from their replicas; the chosen pairs re-derive locally.
+    let killed = cluster.poll_kills();
+    if !killed.is_empty() {
+        recovery::restore_for_witness(cluster, &trace.levels[0], &killed, "recovery-witness-base");
+        cluster.set_phase_scope(Some("lis-witness-base"));
+    }
 
     // Final rebalanced sort puts the slices in position order; the split
     // thresholds guarantee ranks increase along it.

@@ -3,6 +3,7 @@
 use crate::config::MpcConfig;
 use crate::costs;
 use crate::distvec::DistVec;
+use crate::faults::{FaultKind, FaultRecord};
 use crate::ledger::{Ledger, Superstep};
 use rayon::prelude::*;
 
@@ -166,17 +167,48 @@ pub struct Cluster {
     scope: Option<String>,
     /// Cached effective label (`scope/phase`, or whichever half is set).
     label: Option<String>,
+    /// 1-based superstep counter: advanced once per *communicating* primitive
+    /// (any charge with `rounds > 0`). Purely-local maps do not advance it —
+    /// in the model they fold into the adjacent communicating superstep.
+    superstep: u64,
+    /// Index of the next unfired event in `config.faults` (events are sorted
+    /// by superstep, so firing is a single forward scan).
+    next_fault: usize,
+    /// Machines killed since the last [`Cluster::poll_kills`] drain.
+    unpolled_kills: Vec<usize>,
 }
 
 impl Cluster {
     /// Creates a cluster with the given configuration.
+    ///
+    /// # Panics
+    ///
+    /// If the fault plan targets a machine the cluster does not have, or
+    /// schedules a kill on a single-machine cluster (a kill destroys the
+    /// machine's memory; recovery needs a surviving machine holding the
+    /// checkpoint replica, so kills require `machines ≥ 2`).
     pub fn new(config: MpcConfig) -> Self {
+        if let Some(max) = config.faults.max_machine() {
+            assert!(
+                max < config.machines,
+                "fault plan targets machine {max}, but the cluster has only {} machines",
+                config.machines
+            );
+        }
+        assert!(
+            !config.faults.has_kills() || config.machines >= 2,
+            "kill faults require at least 2 machines: recovery re-derives the lost \
+             shard from a checkpoint replica on a surviving machine"
+        );
         Self {
             config,
             ledger: Ledger::default(),
             phase: None,
             scope: None,
             label: None,
+            superstep: 0,
+            next_fault: 0,
+            unpolled_kills: Vec::new(),
         }
     }
 
@@ -195,9 +227,68 @@ impl Cluster {
         self.ledger.rounds
     }
 
-    /// Resets the ledger (configuration is kept).
+    /// Resets the ledger and the fault/superstep state (configuration is kept):
+    /// the superstep counter returns to 0 and the fault plan re-arms from its
+    /// first event, so a reset cluster replays its schedule identically.
     pub fn reset_ledger(&mut self) {
         self.ledger = Ledger::default();
+        self.superstep = 0;
+        self.next_fault = 0;
+        self.unpolled_kills.clear();
+    }
+
+    /// The current superstep index (1-based; 0 before the first communicating
+    /// primitive). Advanced once per primitive that charges `rounds > 0`,
+    /// deterministically at every thread count — this is the clock
+    /// [`crate::FaultPlan`] events fire against.
+    pub fn superstep(&self) -> u64 {
+        self.superstep
+    }
+
+    /// Drains the machines killed since the last poll, in firing order.
+    ///
+    /// The runtime only detects and accounts the kill; re-deriving whatever
+    /// the machine held is the calling algorithm's job (e.g. the LIS pipeline
+    /// restores the killed machine's merge-tree shard from level checkpoints
+    /// under a `recovery-L<k>` scope). Polling between phases is enough: the
+    /// queue preserves every kill until drained.
+    pub fn poll_kills(&mut self) -> Vec<usize> {
+        std::mem::take(&mut self.unpolled_kills)
+    }
+
+    /// Advances the superstep clock by one barrier and fires every fault event
+    /// that has come due: each firing is recorded in the ledger (delays also
+    /// accumulate into [`Ledger::stall_rounds`]) and kills are queued for
+    /// [`Cluster::poll_kills`].
+    fn bump_superstep(&mut self) {
+        self.superstep += 1;
+        self.ledger
+            .note_superstep(self.superstep, self.label.as_deref());
+        while let Some(event) = self.config.faults.events().get(self.next_fault) {
+            if event.superstep > self.superstep {
+                break;
+            }
+            let event = *event;
+            self.next_fault += 1;
+            self.ledger.record_fault(FaultRecord {
+                superstep: self.superstep,
+                machine: event.machine,
+                kind: event.kind,
+                phase: self.label.clone(),
+            });
+            if event.kind == FaultKind::Kill {
+                self.unpolled_kills.push(event.machine);
+            }
+        }
+    }
+
+    /// Applies a superstep receipt on the calling thread, advancing the
+    /// superstep clock first when the receipt is a communicating one.
+    fn apply_step(&mut self, step: Superstep) {
+        if step.rounds > 0 {
+            self.bump_superstep();
+        }
+        self.ledger.apply(step, self.label.as_deref());
     }
 
     /// Sets the label under which subsequent rounds are attributed
@@ -228,16 +319,27 @@ impl Cluster {
     }
 
     /// Manually charges `rounds` rounds (for modelling a step outside the provided
-    /// primitives).
+    /// primitives). Advances the superstep clock when `rounds > 0`.
     pub fn charge_rounds(&mut self, primitive: &'static str, rounds: u64) {
+        if rounds > 0 {
+            self.bump_superstep();
+        }
         self.ledger.charge(primitive, rounds, self.label.as_deref());
+    }
+
+    /// Manually charges a full superstep receipt — rounds *and* communication —
+    /// for modelling a communicating step outside the provided primitives
+    /// (e.g. the checkpoint-replication and replica-restore shuffles of a
+    /// recovery layer). Advances the superstep clock when `rounds > 0`.
+    pub fn charge_superstep(&mut self, primitive: &'static str, rounds: u64, communication: u64) {
+        self.apply_step(Superstep::new(primitive, rounds, communication));
     }
 
     /// The accounting phase of a primitive: applies the cost receipt, then
     /// observes the output's load profile. Runs on the calling thread only.
     fn account<T>(&mut self, step: Superstep, out: &DistVec<T>) {
         let context = step.primitive;
-        self.ledger.apply(step, self.label.as_deref());
+        self.apply_step(step);
         self.observe(out, context);
     }
 
@@ -509,10 +611,7 @@ impl Cluster {
     {
         let total = dv.len() as u64;
         let m = self.config.machines;
-        self.ledger.apply(
-            Superstep::new("group_map", costs::GROUP_MAP, total),
-            self.label.as_deref(),
-        );
+        self.apply_step(Superstep::new("group_map", costs::GROUP_MAP, total));
         let (groups, machine_of_group) = self.gather_packed(dv.parts, key, "group_map");
 
         // Compute: run every group concurrently, then collect results onto their
@@ -615,10 +714,7 @@ impl Cluster {
         }
         let total = (a.len() + b.len()) as u64;
         let m = self.config.machines;
-        self.ledger.apply(
-            Superstep::new("cogroup_map", costs::GROUP_MAP, total),
-            self.label.as_deref(),
-        );
+        self.apply_step(Superstep::new("cogroup_map", costs::GROUP_MAP, total));
         // Tag the two streams and gather them as one keyed stream; within a
         // group, gathering is stable, so each side keeps its own global order.
         let mut parts: Vec<Vec<Side<A, B>>> = a
@@ -741,10 +837,11 @@ impl Cluster {
 
     /// Broadcasts a small value to all machines (Õ(s) words per machine).
     pub fn broadcast<T: Clone>(&mut self, value: T) -> T {
-        self.ledger.apply(
-            Superstep::new("broadcast", costs::BROADCAST, self.config.machines as u64),
-            self.label.as_deref(),
-        );
+        self.apply_step(Superstep::new(
+            "broadcast",
+            costs::BROADCAST,
+            self.config.machines as u64,
+        ));
         value
     }
 
@@ -1084,6 +1181,196 @@ mod tests {
             doubled.iter().copied().sum::<u32>(),
             (0..100).map(|x| x * 2).sum()
         );
+    }
+
+    #[test]
+    fn cogroup_map_works_on_a_single_machine() {
+        // m = 1: every group lands on machine 0; the join must still run and
+        // keep each side's order.
+        let mut cl = Cluster::new(MpcConfig::new(200, 0.5).with_machines(1));
+        let left: Vec<(u32, u32)> = (0..40).map(|i| (i % 4, i)).collect();
+        let right: Vec<(u32, u32)> = (0..12).map(|i| (i % 4, 100 + i)).collect();
+        let ldv = cl.distribute(left);
+        let rdv = cl.distribute(right);
+        let out = cl.cogroup_map(
+            ldv,
+            rdv,
+            |&(k, _)| k,
+            |&(k, _)| k,
+            |&k, lefts, rights| {
+                assert!(lefts.windows(2).all(|w| w[0].1 < w[1].1), "key {k}");
+                assert!(rights.windows(2).all(|w| w[0].1 < w[1].1), "key {k}");
+                vec![(k, lefts.len(), rights.len())]
+            },
+        );
+        let mut flat = out.into_inner();
+        flat.sort_unstable();
+        assert_eq!(flat, vec![(0, 10, 3), (1, 10, 3), (2, 10, 3), (3, 10, 3)]);
+        assert_eq!(cl.rounds(), costs::GROUP_MAP);
+    }
+
+    #[test]
+    fn cogroup_map_handles_all_empty_inputs() {
+        // Both sides empty (and on a single machine): no groups run, the
+        // output is empty on every machine, accounting still happens.
+        for machines in [1, 5] {
+            let mut cl = Cluster::new(MpcConfig::new(100, 0.5).with_machines(machines));
+            let ldv = cl.empty::<(u32, u32)>();
+            let rdv = cl.empty::<(u32, u32)>();
+            let out = cl.cogroup_map(ldv, rdv, |&(k, _)| k, |&(k, _)| k, |&k, _, _| vec![k]);
+            assert_eq!(out.len(), 0, "machines={machines}");
+            assert_eq!(out.machines(), machines);
+            assert_eq!(cl.rounds(), costs::GROUP_MAP);
+            assert_eq!(cl.ledger().space_violations, 0);
+        }
+    }
+
+    #[test]
+    fn cogroup_map_one_sided_empty_still_runs_groups() {
+        let mut cl = Cluster::new(MpcConfig::new(100, 0.5).with_machines(1));
+        let ldv = cl.distribute(vec![(0u32, 1u32), (1, 2)]);
+        let rdv = cl.empty::<(u32, u32)>();
+        let out = cl.cogroup_map(
+            ldv,
+            rdv,
+            |&(k, _)| k,
+            |&(k, _)| k,
+            |&k, lefts, rights| vec![(k, lefts.len(), rights.len())],
+        );
+        let mut flat = out.into_inner();
+        flat.sort_unstable();
+        assert_eq!(flat, vec![(0, 1, 0), (1, 1, 0)]);
+    }
+
+    #[test]
+    fn flat_map_rebalanced_works_on_a_single_machine_and_empty_input() {
+        let mut cl = Cluster::new(MpcConfig::new(100, 0.5).with_machines(1));
+        let dv = cl.distribute((0..10u32).collect());
+        let out = cl.flat_map_rebalanced(&dv, |&v| vec![v, v]);
+        let mut flat = out.into_inner();
+        flat.sort_unstable();
+        assert_eq!(flat.len(), 20);
+        assert_eq!(cl.rounds(), costs::MULTICAST);
+
+        // All-empty shards: the multicast emits nothing, charges its rounds,
+        // and returns an empty vector with one part per machine.
+        for machines in [1, 7] {
+            let mut cl = Cluster::new(MpcConfig::new(100, 0.5).with_machines(machines));
+            let dv = cl.empty::<u32>();
+            let out = cl.flat_map_rebalanced(&dv, |&v| vec![v]);
+            assert_eq!(out.len(), 0, "machines={machines}");
+            assert_eq!(out.machines(), machines);
+            assert_eq!(cl.rounds(), costs::MULTICAST);
+        }
+    }
+
+    #[test]
+    fn group_map_rebalanced_single_machine_and_empty() {
+        let mut cl = Cluster::new(MpcConfig::new(100, 0.5).with_machines(1));
+        let dv = cl.distribute((0..10u32).collect());
+        let out = cl.group_map_rebalanced(dv, |&v| v % 2, |_, items| items);
+        assert_eq!(out.len(), 10);
+
+        let empty = cl.empty::<u32>();
+        let out = cl.group_map_rebalanced(empty, |&v| v, |_, items| items);
+        assert_eq!(out.len(), 0);
+        assert_eq!(out.machines(), 1);
+    }
+
+    #[test]
+    fn fault_events_fire_at_their_supersteps() {
+        use crate::faults::{FaultKind, FaultPlan};
+        let plan = FaultPlan::delay(0, 1, 3).and_kill(1, 2);
+        let mut cl = Cluster::new(MpcConfig::new(1000, 0.5).with_faults(plan));
+        cl.set_phase(Some("work"));
+        let dv = cl.distribute((0..1000u32).collect());
+        assert_eq!(cl.superstep(), 0, "distribute is free: no barrier yet");
+        let dv = cl.sort_by_key(dv, |&x| x); // superstep 1 → the delay fires
+        assert_eq!(cl.superstep(), 1);
+        assert_eq!(cl.ledger().stall_rounds, 3);
+        assert!(cl.poll_kills().is_empty(), "no kill yet");
+        let _ = cl.sort_by_key(dv, |&x| x); // superstep 2 → the kill fires
+        assert_eq!(cl.poll_kills(), vec![1]);
+        assert!(cl.poll_kills().is_empty(), "kills drain exactly once");
+        let ledger = cl.ledger();
+        assert_eq!(ledger.fault_events.len(), 2);
+        assert_eq!(ledger.fault_events[0].kind, FaultKind::Delay(3));
+        assert_eq!(ledger.fault_events[1].kind, FaultKind::Kill);
+        assert_eq!(ledger.fault_events[1].phase.as_deref(), Some("work"));
+        assert_eq!(ledger.superstep_spans["work"], (1, 2));
+        assert_eq!(
+            ledger.rounds,
+            2 * costs::SORT,
+            "stalls must not add synchronous rounds"
+        );
+        assert_eq!(ledger.kills(), 1);
+    }
+
+    #[test]
+    fn past_due_fault_events_fire_at_the_next_barrier() {
+        use crate::faults::FaultPlan;
+        // Scheduled for superstep 5, but the run has fewer barriers per phase:
+        // the event fires as soon as the clock reaches it, never silently
+        // skipped while barriers keep happening.
+        let mut cl = Cluster::new(MpcConfig::new(1000, 0.5).with_faults(FaultPlan::kill(2, 2)));
+        let dv = cl.distribute((0..1000u32).collect());
+        let dv = cl.sort_by_key(dv, |&x| x);
+        let dv = cl.sort_by_key(dv, |&x| x);
+        let _ = cl.sort_by_key(dv, |&x| x);
+        assert_eq!(cl.superstep(), 3);
+        assert_eq!(cl.poll_kills(), vec![2]);
+        // Events beyond the final superstep simply do not fire.
+        let ledger = cl.ledger();
+        assert_eq!(ledger.fault_events.len(), 1);
+        assert_eq!(ledger.fault_events[0].superstep, 2);
+    }
+
+    #[test]
+    fn reset_ledger_rearms_the_fault_plan() {
+        use crate::faults::FaultPlan;
+        let mut cl = Cluster::new(MpcConfig::new(1000, 0.5).with_faults(FaultPlan::kill(1, 1)));
+        let dv = cl.distribute((0..1000u32).collect());
+        let _ = cl.sort_by_key(dv, |&x| x);
+        assert_eq!(cl.poll_kills(), vec![1]);
+        cl.reset_ledger();
+        assert_eq!(cl.superstep(), 0);
+        let dv = cl.distribute((0..1000u32).collect());
+        let _ = cl.sort_by_key(dv, |&x| x);
+        assert_eq!(cl.poll_kills(), vec![1], "schedule replays after reset");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 machines")]
+    fn kill_on_single_machine_cluster_is_rejected() {
+        use crate::faults::FaultPlan;
+        let cfg = MpcConfig::new(100, 0.5)
+            .with_machines(1)
+            .with_faults(FaultPlan::kill(0, 1));
+        let _ = Cluster::new(cfg);
+    }
+
+    #[test]
+    #[should_panic(expected = "targets machine")]
+    fn fault_plan_must_target_existing_machines() {
+        use crate::faults::FaultPlan;
+        let cfg = MpcConfig::new(100, 0.5)
+            .with_machines(4)
+            .with_faults(FaultPlan::delay(9, 1, 1));
+        let _ = Cluster::new(cfg);
+    }
+
+    #[test]
+    fn charge_superstep_advances_clock_and_charges_both_measures() {
+        let mut cl = cluster(100, 0.5);
+        cl.set_phase(Some("checkpoint"));
+        cl.charge_superstep("checkpoint", costs::CHECKPOINT, 42);
+        assert_eq!(cl.superstep(), 1);
+        assert_eq!(cl.rounds(), costs::CHECKPOINT);
+        assert_eq!(cl.ledger().communication, 42);
+        assert_eq!(cl.ledger().comm_by_phase["checkpoint"], 42);
+        // Zero-round charges are not barriers.
+        cl.charge_superstep("free", 0, 0);
+        assert_eq!(cl.superstep(), 1);
     }
 
     #[test]

@@ -1,5 +1,7 @@
 //! Configuration of the simulated MPC cluster.
 
+use crate::faults::FaultPlan;
+
 /// Parameters of the simulated cluster.
 ///
 /// The defaults follow the paper's model: for an input of size `n` and scalability
@@ -22,6 +24,16 @@ pub struct MpcConfig {
     /// Multiplicative slack applied to `n^{1−δ}` when deriving `space`
     /// (stands in for the `Õ(·)` poly-log factors of the model).
     pub space_slack: f64,
+    /// Deterministic fault schedule (kills/delays) the cluster injects; empty
+    /// by default. **Orthogonal to space enforcement**: attaching a plan never
+    /// touches [`MpcConfig::enforce_space`], so a strict cluster stays strict
+    /// through recovery and a lenient one keeps recording.
+    pub faults: FaultPlan,
+    /// Forces level checkpointing in pipelines that support recovery (the LIS
+    /// merge tree) even when no faults are scheduled and no witness is
+    /// requested — useful for measuring the checkpoint overhead in isolation.
+    /// Pipelines checkpoint anyway whenever `faults` is non-empty.
+    pub checkpoints: bool,
 }
 
 impl MpcConfig {
@@ -57,6 +69,8 @@ impl MpcConfig {
             space: space.max(16),
             enforce_space: false,
             space_slack,
+            faults: FaultPlan::none(),
+            checkpoints: false,
         }
     }
 
@@ -83,6 +97,21 @@ impl MpcConfig {
     /// are recorded in the ledger instead of panicking).
     pub fn recording(mut self) -> Self {
         self.enforce_space = false;
+        self
+    }
+
+    /// Attaches a deterministic fault schedule (see [`FaultPlan`]). Does
+    /// **not** change space enforcement: `MpcConfig::new(..).with_faults(..)`
+    /// is still strict, `lenient(..).with_faults(..)` still records.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Forces level checkpointing in recovery-capable pipelines even without a
+    /// fault plan (see [`MpcConfig::checkpoints`]).
+    pub fn with_checkpoints(mut self, checkpoints: bool) -> Self {
+        self.checkpoints = checkpoints;
         self
     }
 
@@ -134,6 +163,45 @@ mod tests {
     #[should_panic(expected = "strictly between")]
     fn rejects_delta_one() {
         MpcConfig::new(100, 1.0);
+    }
+
+    #[test]
+    fn fault_and_checkpoint_options_do_not_touch_space_enforcement() {
+        // Regression (PR 6): attaching a fault plan or forcing checkpoints must
+        // compose with strict()/lenient()/recording() without silently flipping
+        // the strict-space default in either direction.
+        let plan = FaultPlan::kill(1, 10).and_delay(0, 5, 2);
+        let strict = MpcConfig::new(1000, 0.5).with_faults(plan.clone());
+        assert!(strict.enforce_space, "with_faults disabled strict panics");
+        assert_eq!(strict.faults, plan);
+
+        let lenient = MpcConfig::lenient(1000, 0.5).with_faults(plan.clone());
+        assert!(!lenient.enforce_space, "with_faults enabled strictness");
+        assert_eq!(lenient.faults, plan);
+
+        // The enforcement toggles, in turn, must not drop the plan.
+        assert_eq!(strict.clone().recording().faults, plan);
+        assert_eq!(lenient.clone().strict().faults, plan);
+
+        let ckpt = MpcConfig::new(1000, 0.5).with_checkpoints(true);
+        assert!(ckpt.enforce_space && ckpt.checkpoints);
+        assert!(
+            ckpt.recording().checkpoints,
+            "recording dropped checkpoints"
+        );
+        assert!(
+            MpcConfig::lenient(1000, 0.5)
+                .with_checkpoints(true)
+                .strict()
+                .checkpoints,
+            "strict dropped checkpoints"
+        );
+
+        // And the default stays: no faults, no forced checkpoints, strict.
+        let default = MpcConfig::new(1000, 0.5);
+        assert!(default.faults.is_empty());
+        assert!(!default.checkpoints);
+        assert!(default.enforce_space);
     }
 
     #[test]

@@ -45,3 +45,12 @@ pub const INVERSE_PERMUTATION: u64 = SHUFFLE;
 /// The tree depth is `O(log_s k)` for fan-out `k`; with `k ≤ n = s^{1/(1−δ)}`
 /// (constant `δ`) that is `O(1)`, modelled by one fan-out round.
 pub const MULTICAST: u64 = 1 + SHUFFLE;
+
+/// Rounds for replicating a level checkpoint onto a neighbor machine: each
+/// machine sends a copy of its checkpoint shard to machine `(i+1) mod m`, one
+/// point-to-point shuffle.
+pub const CHECKPOINT: u64 = SHUFFLE;
+
+/// Rounds for restoring a lost shard from its surviving replica: the neighbor
+/// ships the checkpoint copy back to the cold standby, one shuffle.
+pub const RESTORE: u64 = SHUFFLE;

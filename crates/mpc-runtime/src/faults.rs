@@ -1,0 +1,231 @@
+//! Deterministic fault injection: kill/delay schedules for chaos testing.
+//!
+//! Production MPC clusters lose and stall machines mid-round. A [`FaultPlan`]
+//! describes, ahead of time, exactly which machine fails at which superstep —
+//! either a **kill** (the machine crashes; a cold standby replaces it with
+//! empty memory, so the shard it held is lost) or a **delay** (a straggler:
+//! the machine finishes the superstep `d` barriers late, stalling everyone at
+//! the synchronous barrier). The plan is attached to
+//! [`crate::MpcConfig::with_faults`] and honored by the [`crate::Cluster`]
+//! *deterministically*: the superstep counter advances once per communicating
+//! primitive, events fire the moment the counter reaches their superstep, and
+//! every firing is recorded in the [`crate::Ledger`] ([`FaultRecord`]) — so a
+//! faulty run is exactly reproducible at every thread count.
+//!
+//! The runtime detects and accounts; *recovery* is the algorithm's job. Kills
+//! are queued for the algorithm to drain via [`crate::Cluster::poll_kills`]
+//! (e.g. the LIS pipeline re-derives the killed machine's merge-tree shard
+//! from its level checkpoints under a `recovery-L<k>` ledger scope). Delays
+//! need no algorithmic response: the barrier absorbs them, and the stall is
+//! charged to [`crate::Ledger::stall_rounds`].
+
+/// What happens to the machine when the event fires.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum FaultKind {
+    /// The machine crashes and is immediately replaced by a cold standby with
+    /// empty memory: every item resident on it at that superstep is lost.
+    /// Requires a cluster of at least two machines (recovery re-derives the
+    /// lost shard from checkpoints replicated on the surviving machines).
+    Kill,
+    /// The machine straggles: it completes the superstep this many barriers
+    /// late. The synchronous barrier absorbs the delay — no data is lost and
+    /// no recovery is needed — and the stall is charged to
+    /// [`crate::Ledger::stall_rounds`].
+    Delay(u64),
+}
+
+/// One scheduled fault: `machine` suffers `kind` when the cluster's superstep
+/// counter reaches `superstep` (1-based; the counter advances once per
+/// communicating primitive, see [`crate::Cluster::superstep`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// Index of the affected machine (must be `< MpcConfig::machines`).
+    pub machine: usize,
+    /// Superstep at which the fault fires. Events whose superstep is never
+    /// reached (the run ends first) simply do not fire.
+    pub superstep: u64,
+    /// Kill or delay.
+    pub kind: FaultKind,
+}
+
+/// A ledger entry for one fault that actually fired, with the phase label that
+/// was active at the barrier.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FaultRecord {
+    /// Superstep at which the fault fired.
+    pub superstep: u64,
+    /// The affected machine.
+    pub machine: usize,
+    /// Kill or delay.
+    pub kind: FaultKind,
+    /// The `scope/phase` label active when the fault fired, if any.
+    pub phase: Option<String>,
+}
+
+/// A deterministic schedule of fault events, kept sorted by
+/// `(superstep, machine)` so two plans built from the same events compare and
+/// fire identically regardless of insertion order.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// The empty plan: no faults (the default on every [`crate::MpcConfig`]).
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Builds a plan from explicit events (sorted internally).
+    pub fn new(mut events: Vec<FaultEvent>) -> Self {
+        events.sort_by_key(|e| (e.superstep, e.machine, e.kind));
+        Self { events }
+    }
+
+    /// A plan with a single kill of `machine` at `superstep`.
+    pub fn kill(machine: usize, superstep: u64) -> Self {
+        Self::none().and_kill(machine, superstep)
+    }
+
+    /// A plan with a single `d`-superstep delay of `machine` at `superstep`.
+    pub fn delay(machine: usize, superstep: u64, d: u64) -> Self {
+        Self::none().and_delay(machine, superstep, d)
+    }
+
+    /// Adds a kill of `machine` at `superstep`.
+    pub fn and_kill(self, machine: usize, superstep: u64) -> Self {
+        self.and(FaultEvent {
+            machine,
+            superstep,
+            kind: FaultKind::Kill,
+        })
+    }
+
+    /// Adds a `d`-superstep delay of `machine` at `superstep`.
+    pub fn and_delay(self, machine: usize, superstep: u64, d: u64) -> Self {
+        self.and(FaultEvent {
+            machine,
+            superstep,
+            kind: FaultKind::Delay(d.max(1)),
+        })
+    }
+
+    /// Adds one event (re-sorting to keep firing order canonical).
+    pub fn and(mut self, event: FaultEvent) -> Self {
+        self.events.push(event);
+        self.events
+            .sort_by_key(|e| (e.superstep, e.machine, e.kind));
+        self
+    }
+
+    /// A random schedule of `count` events derived **entirely from `seed`**
+    /// (SplitMix64; no global RNG state): machines drawn from `0..machines`,
+    /// supersteps from `1..=max_superstep`, an even mix of kills and short
+    /// (1–3 barrier) delays. Equal arguments yield equal plans, which is what
+    /// makes a chaos sweep replayable from its seed alone.
+    pub fn random(seed: u64, machines: usize, max_superstep: u64, count: usize) -> Self {
+        let mut state = seed;
+        let mut next = move || {
+            // SplitMix64: the standard seeding PRNG, deterministic and fast.
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let machines = machines.max(1) as u64;
+        let max_superstep = max_superstep.max(1);
+        let events = (0..count)
+            .map(|_| {
+                let machine = (next() % machines) as usize;
+                let superstep = 1 + next() % max_superstep;
+                let kind = if next() % 2 == 0 {
+                    FaultKind::Kill
+                } else {
+                    FaultKind::Delay(1 + next() % 3)
+                };
+                FaultEvent {
+                    machine,
+                    superstep,
+                    kind,
+                }
+            })
+            .collect();
+        Self::new(events)
+    }
+
+    /// Whether the plan schedules no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The scheduled events, sorted by `(superstep, machine)`.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Whether the plan contains at least one kill.
+    pub fn has_kills(&self) -> bool {
+        self.events.iter().any(|e| e.kind == FaultKind::Kill)
+    }
+
+    /// Largest machine index any event targets, if the plan is non-empty.
+    pub fn max_machine(&self) -> Option<usize> {
+        self.events.iter().map(|e| e.machine).max()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_keep_events_sorted_by_firing_order() {
+        let plan = FaultPlan::kill(3, 50).and_delay(1, 10, 2).and_kill(0, 50);
+        let steps: Vec<(u64, usize)> = plan
+            .events()
+            .iter()
+            .map(|e| (e.superstep, e.machine))
+            .collect();
+        assert_eq!(steps, vec![(10, 1), (50, 0), (50, 3)]);
+        assert!(plan.has_kills());
+        assert_eq!(plan.max_machine(), Some(3));
+    }
+
+    #[test]
+    fn plans_compare_regardless_of_insertion_order() {
+        let a = FaultPlan::kill(2, 7).and_delay(0, 3, 1);
+        let b = FaultPlan::delay(0, 3, 1).and_kill(2, 7);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn random_plans_are_seed_deterministic_and_in_range() {
+        let a = FaultPlan::random(42, 8, 100, 6);
+        let b = FaultPlan::random(42, 8, 100, 6);
+        assert_eq!(a, b);
+        assert_eq!(a.events().len(), 6);
+        for e in a.events() {
+            assert!(e.machine < 8);
+            assert!((1..=100).contains(&e.superstep));
+            if let FaultKind::Delay(d) = e.kind {
+                assert!((1..=3).contains(&d));
+            }
+        }
+        assert_ne!(a, FaultPlan::random(43, 8, 100, 6), "seed must matter");
+    }
+
+    #[test]
+    fn delay_builder_floors_at_one_barrier() {
+        let plan = FaultPlan::delay(0, 5, 0);
+        assert_eq!(plan.events()[0].kind, FaultKind::Delay(1));
+    }
+
+    #[test]
+    fn empty_plan_is_default() {
+        assert!(FaultPlan::none().is_empty());
+        assert_eq!(FaultPlan::none(), FaultPlan::default());
+        assert!(!FaultPlan::none().has_kills());
+        assert_eq!(FaultPlan::none().max_machine(), None);
+    }
+}

@@ -1,5 +1,6 @@
-//! Accounting of rounds, communication and per-machine load.
+//! Accounting of rounds, communication, per-machine load and fault events.
 
+use crate::faults::{FaultKind, FaultRecord};
 use std::collections::BTreeMap;
 
 /// The costs of one primitive invocation, assembled *beside* the parallel
@@ -57,6 +58,19 @@ pub struct Ledger {
     pub violations_by_phase: BTreeMap<String, u64>,
     /// Number of primitive invocations by name.
     pub primitive_counts: BTreeMap<&'static str, u64>,
+    /// Every injected fault that actually fired, in firing order, with the
+    /// phase label active at its barrier (see [`crate::FaultPlan`]).
+    pub fault_events: Vec<FaultRecord>,
+    /// Barriers spent waiting for stragglers: the sum of all fired
+    /// [`FaultKind::Delay`] durations. Kept separate from [`Ledger::rounds`] —
+    /// a straggler stretches wall-clock at the barrier but does not add
+    /// synchronous rounds to the algorithm.
+    pub stall_rounds: u64,
+    /// First and last superstep index observed under each phase label (the
+    /// superstep counter advances once per communicating primitive). This is
+    /// what lets a chaos harness aim a kill *inside* a specific merge level:
+    /// probe a fault-free run, read the level's span, schedule the fault.
+    pub superstep_spans: BTreeMap<String, (u64, u64)>,
 }
 
 impl Ledger {
@@ -117,11 +131,55 @@ impl Ledger {
         self.communication += items;
     }
 
+    /// Records that superstep `index` ran under `phase` (span bookkeeping).
+    pub(crate) fn note_superstep(&mut self, index: u64, phase: Option<&str>) {
+        if let Some(p) = phase {
+            let span = self
+                .superstep_spans
+                .entry(p.to_string())
+                .or_insert((index, index));
+            span.0 = span.0.min(index);
+            span.1 = span.1.max(index);
+        }
+    }
+
+    /// Records one fired fault event; delays accumulate into
+    /// [`Ledger::stall_rounds`].
+    pub(crate) fn record_fault(&mut self, record: FaultRecord) {
+        if let FaultKind::Delay(d) = record.kind {
+            self.stall_rounds += d;
+        }
+        self.fault_events.push(record);
+    }
+
+    /// Number of fired kill events.
+    pub fn kills(&self) -> usize {
+        self.fault_events
+            .iter()
+            .filter(|r| r.kind == FaultKind::Kill)
+            .count()
+    }
+
+    /// Superstep span covering every phase label starting with `prefix`
+    /// (e.g. `"lis-merge-L2/"`), if any such label ran.
+    pub fn superstep_span_of(&self, prefix: &str) -> Option<(u64, u64)> {
+        self.superstep_spans
+            .iter()
+            .filter(|(k, _)| k.starts_with(prefix))
+            .map(|(_, &(lo, hi))| (lo, hi))
+            .reduce(|a, b| (a.0.min(b.0), a.1.max(b.1)))
+    }
+
     /// Human-readable one-line summary (used by the experiment binaries).
     pub fn summary(&self) -> String {
         format!(
-            "rounds={} comm={} max_load={} violations={}",
-            self.rounds, self.communication, self.max_machine_load, self.space_violations
+            "rounds={} comm={} max_load={} violations={} faults={} stall={}",
+            self.rounds,
+            self.communication,
+            self.max_machine_load,
+            self.space_violations,
+            self.fault_events.len(),
+            self.stall_rounds
         )
     }
 }

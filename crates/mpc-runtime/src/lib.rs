@@ -22,6 +22,24 @@
 //! The simulator measures exactly the quantities the paper's theorems are about —
 //! rounds, peak per-machine load, total communication — and can either record or
 //! enforce the space budget.
+//!
+//! # Fault injection and recovery scopes
+//!
+//! A [`FaultPlan`] attached via [`MpcConfig::with_faults`] schedules machine
+//! **kills** (crash + cold-standby replacement with empty memory) and
+//! **delays** (stragglers) at explicit superstep indices. The [`Cluster`]
+//! maintains a deterministic superstep counter — advanced once per
+//! communicating primitive — and fires each event exactly when the counter
+//! reaches its superstep, recording a [`FaultRecord`] in the [`Ledger`]. Kills
+//! are queued for the running algorithm to drain via [`Cluster::poll_kills`];
+//! recovery work it performs in response is expected to run under a
+//! `recovery-*` ledger scope (the LIS/LCS pipelines use `recovery-base`,
+//! `recovery-L<k>` and `recovery-witness-L<k>`), so the extra rounds are
+//! separately attributable. Delays are absorbed by the synchronous barrier and
+//! charged to [`Ledger::stall_rounds`], never to [`Ledger::rounds`]: round
+//! complexity is a synchronous measure, stragglers stretch wall-clock only.
+//! Fault firing, recovery, and all accounting are bit-identical at every
+//! thread count, which is what makes chaos schedules replayable from a seed.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -30,9 +48,11 @@ pub mod cluster;
 pub mod config;
 pub mod costs;
 pub mod distvec;
+pub mod faults;
 pub mod ledger;
 
 pub use cluster::Cluster;
 pub use config::MpcConfig;
 pub use distvec::DistVec;
+pub use faults::{FaultEvent, FaultKind, FaultPlan, FaultRecord};
 pub use ledger::{Ledger, Superstep};

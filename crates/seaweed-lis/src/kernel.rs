@@ -158,6 +158,15 @@ impl SeaweedKernel {
         &self.perm
     }
 
+    /// Number of entries a level checkpoint of this kernel ships: the full
+    /// entry → exit permutation, `m + n` words. A merge-tree node's checkpoint
+    /// is this plus its sorted value set, which is what the fault-tolerant
+    /// pipelines charge when replicating a level (`costs::CHECKPOINT`) or
+    /// restoring a lost shard from its replica (`costs::RESTORE`).
+    pub fn checkpoint_entries(&self) -> usize {
+        self.perm.size()
+    }
+
     /// Exit point of the seaweed entering at `entry`.
     pub fn exit_of(&self, entry: usize) -> usize {
         self.perm.col_of(entry)

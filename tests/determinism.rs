@@ -12,7 +12,7 @@
 use monge_mpc_suite::lis_mpc::lis_witness_mpc;
 use monge_mpc_suite::monge::PermutationMatrix;
 use monge_mpc_suite::monge_mpc::{self, MulParams};
-use monge_mpc_suite::mpc_runtime::{Cluster, Ledger, MpcConfig};
+use monge_mpc_suite::mpc_runtime::{Cluster, FaultPlan, Ledger, MpcConfig};
 use monge_mpc_suite::seaweed_lis::kernel::SeaweedKernel;
 use rand::prelude::*;
 
@@ -73,6 +73,23 @@ fn workload() -> (
     )
 }
 
+/// The LIS witness workload under a fixed fault plan: a straggler delay, a
+/// mid-run kill and a late kill of machine 0 (which owns node 0 of every
+/// level). Fault firing, checkpointing, repair and all recovery accounting
+/// must be as thread-count-invariant as the fault-free pipeline.
+fn faulted_workload() -> (usize, SeaweedKernel, Vec<usize>, Ledger) {
+    let seq = noisy_sequence(600, 0xC0DE);
+    let plan = FaultPlan::delay(0, 20, 2).and_kill(1, 50).and_kill(0, 120);
+    let mut cluster = Cluster::new(MpcConfig::new(seq.len(), 0.75).with_faults(plan));
+    let outcome = lis_witness_mpc(&mut cluster, &seq, &MulParams::default());
+    (
+        outcome.length,
+        outcome.kernel,
+        outcome.witness.expect("witness requested"),
+        cluster.ledger().clone(),
+    )
+}
+
 fn at_threads<R>(threads: usize, f: impl FnOnce() -> R) -> R {
     rayon::ThreadPoolBuilder::new()
         .num_threads(threads)
@@ -109,6 +126,40 @@ fn outputs_and_ledgers_identical_across_thread_counts() {
         assert_eq!(
             baseline.5, run.5,
             "LIS witness diverged at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn faulted_run_identical_across_thread_counts() {
+    let fault_free = at_threads(1, workload);
+    let baseline = at_threads(1, faulted_workload);
+    // The fixed plan genuinely fired (both kills and the delay) and the
+    // recovery reproduced the fault-free outputs bit for bit.
+    assert_eq!(baseline.3.fault_events.len(), 3);
+    assert_eq!(baseline.3.kills(), 2);
+    assert_eq!(baseline.3.stall_rounds, 2);
+    assert_eq!(baseline.3.space_violations, 0);
+    assert_eq!(baseline.0, fault_free.2, "recovered length diverged");
+    assert_eq!(baseline.1, fault_free.3, "recovered kernel diverged");
+    assert_eq!(baseline.2, fault_free.5, "recovered witness diverged");
+    for threads in [4, 8] {
+        let run = at_threads(threads, faulted_workload);
+        assert_eq!(
+            baseline.0, run.0,
+            "faulted LIS length diverged at {threads} threads"
+        );
+        assert_eq!(
+            baseline.1, run.1,
+            "faulted kernel diverged at {threads} threads"
+        );
+        assert_eq!(
+            baseline.2, run.2,
+            "faulted witness diverged at {threads} threads"
+        );
+        assert_eq!(
+            baseline.3, run.3,
+            "faulted ledger (fault events, recovery scopes, stalls) diverged at {threads} threads"
         );
     }
 }

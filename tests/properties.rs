@@ -5,7 +5,7 @@ use monge_mpc_suite::monge::distribution::DistributionMatrix;
 use monge_mpc_suite::monge::multiway::mul_multiway;
 use monge_mpc_suite::monge::{mul_dense, mul_steady_ant, PermutationMatrix, SubPermutationMatrix};
 use monge_mpc_suite::monge_mpc::{self, GridPhase, MulParams};
-use monge_mpc_suite::mpc_runtime::{Cluster, MpcConfig};
+use monge_mpc_suite::mpc_runtime::{Cluster, FaultPlan, MpcConfig};
 use monge_mpc_suite::seaweed_lis::baselines::{lcs_length_dp, lis_length_patience};
 use monge_mpc_suite::seaweed_lis::kernel::{compose_horizontal, SeaweedKernel};
 use monge_mpc_suite::seaweed_lis::lis::lis_length;
@@ -30,6 +30,33 @@ fn perm_triple(max_n: usize) -> impl Strategy<Value = (Vec<u32>, Vec<u32>, Vec<u
 /// Strategy: a random sequence with duplicates.
 fn sequence(max_n: usize, alphabet: u32) -> impl Strategy<Value = Vec<u32>> {
     prop::collection::vec(0..alphabet, 0..=max_n)
+}
+
+/// Strategy: a chaos schedule of up to three fault events, each a
+/// `(machine seed, superstep, kill | delay(d))` triple. Machine seeds are
+/// reduced mod the cluster's machine count at plan-build time.
+fn chaos_schedule() -> impl Strategy<Value = Vec<(usize, u64, Option<u64>)>> {
+    // Kind 0..3 draws a kill, 3..6 a delay of 1–3 supersteps (kills weighted
+    // up: they are the interesting path — replica restore and re-merge).
+    prop::collection::vec(
+        (0usize..64, 1u64..300, 0u64..6).prop_map(|(mseed, step, kind)| {
+            (mseed, step, if kind < 3 { None } else { Some(kind - 2) })
+        }),
+        1..=3,
+    )
+}
+
+/// Builds a [`FaultPlan`] from a chaos schedule for a cluster of `machines`.
+fn plan_from_schedule(schedule: &[(usize, u64, Option<u64>)], machines: usize) -> FaultPlan {
+    schedule
+        .iter()
+        .fold(FaultPlan::none(), |plan, &(mseed, step, delay)| {
+            let machine = mseed % machines;
+            match delay {
+                Some(d) => plan.and_delay(machine, step, d),
+                None => plan.and_kill(machine, step),
+            }
+        })
 }
 
 /// Masks a permutation into a (square) sub-permutation: rows where the mask is
@@ -282,5 +309,75 @@ proptest! {
         prop_assert!(outcome.witness.iter().all(|&(i, j)| a[i] == b[j]),
                      "not a common subsequence: {:?} {:?} {:?}", a, b, outcome.witness);
         prop_assert_eq!(cluster.ledger().space_violations, 0);
+    }
+}
+
+// Chaos sweep (ISSUE 6): random kill/delay schedules against the recovery
+// layer. Each case runs the full witness pipeline twice (fault-free and
+// faulted), so the block uses fewer cases than the cheap algebra tests above.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Under any schedule of kills and straggler delays, across δ ∈ {0.1..0.5}
+    /// and n up to 2^12, the recovered LIS length, kernel and witness are
+    /// bit-identical to the fault-free run, with zero strict-space violations
+    /// (the strict cluster would panic on any overshoot) and every fault
+    /// accounted in the ledger.
+    #[test]
+    fn chaos_lis_recovers_bit_identically(exp in 4usize..=12,
+                                          seed in 0u64..1 << 20,
+                                          delta_tenths in 1usize..6,
+                                          schedule in chaos_schedule()) {
+        let n = 1usize << exp;
+        let delta = delta_tenths as f64 / 10.0;
+        use rand::prelude::*;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut seq: Vec<u32> = (0..n as u32).collect();
+        seq.shuffle(&mut rng);
+
+        let config = MpcConfig::new(n, delta);
+        // δ ≤ 0.5 and n ≥ 16 give m ≥ 2, so kill schedules are always legal.
+        prop_assert!(config.machines >= 2);
+        let plan = plan_from_schedule(&schedule, config.machines);
+
+        let mut plain = Cluster::new(config.clone());
+        let baseline = lis_mpc::lis_witness_mpc(&mut plain, &seq, &MulParams::default());
+        let mut faulty = Cluster::new(config.with_faults(plan));
+        let outcome = lis_mpc::lis_witness_mpc(&mut faulty, &seq, &MulParams::default());
+
+        prop_assert_eq!(outcome.length, baseline.length);
+        prop_assert_eq!(outcome.kernel, baseline.kernel);
+        prop_assert_eq!(outcome.witness, baseline.witness);
+        let ledger = faulty.ledger();
+        prop_assert_eq!(ledger.space_violations, 0);
+        prop_assert!(ledger.fault_events.len() <= schedule.len());
+        // Delays charge stalls, never synchronous rounds; with no kills the
+        // round count is exactly the fault-free one.
+        if !faulty.config().faults.has_kills() {
+            prop_assert_eq!(faulty.rounds(), plain.rounds());
+        }
+    }
+
+    /// The LCS pipeline funnels through the same merge tree; chaos schedules
+    /// must leave its recovered length and witness pairs bit-identical too.
+    #[test]
+    fn chaos_lcs_recovers_bit_identically(a in sequence(30, 5), b in sequence(30, 5),
+                                          delta_tenths in 1usize..6,
+                                          schedule in chaos_schedule()) {
+        let total = (a.len() * b.len()).max(16);
+        let delta = delta_tenths as f64 / 10.0;
+        let config = MpcConfig::new(total, delta);
+        prop_assert!(config.machines >= 2);
+        let plan = plan_from_schedule(&schedule, config.machines);
+
+        let mut plain = Cluster::new(config.clone());
+        let baseline = lis_mpc::lcs_witness_mpc(&mut plain, &a, &b, &MulParams::default());
+        let mut faulty = Cluster::new(config.with_faults(plan));
+        let outcome = lis_mpc::lcs_witness_mpc(&mut faulty, &a, &b, &MulParams::default());
+
+        prop_assert_eq!(outcome.length, baseline.length);
+        prop_assert_eq!(outcome.length, lcs_length_dp(&a, &b));
+        prop_assert_eq!(outcome.witness, baseline.witness);
+        prop_assert_eq!(faulty.ledger().space_violations, 0);
     }
 }

@@ -1,0 +1,206 @@
+//! Experiment E7 — wall-clock profile of the two local hot kernels.
+//!
+//! The round/space experiments (`exp_mul_rounds`, `exp_lis_rounds`) validate the
+//! *model*; this harness measures the *hardware*: per-size nanoseconds and
+//! throughput of the seaweed comb and the steady-ant `⊡`, optimized fast path
+//! against the retained reference implementation, asserting bit-identical
+//! outputs on every size where both run.
+//!
+//! * **comb** — [`seaweed_lis::kernel::SeaweedKernel::comb_bitparallel`]
+//!   (comparison-rule + word-skip) vs [`SeaweedKernel::comb`] (triangular
+//!   crossing-history oracle). The reference materializes `(m+n)²/2` bits, so
+//!   it is skipped above [`REF_COMB_CAP`] columns; the fast path is linear-space
+//!   and sweeps on toward 2^22.
+//! * **mul** — arena-backed [`monge::steady_ant::mul_rows`] (thread-local
+//!   [`monge::steady_ant::Workspace`], dense base case) and the data-parallel
+//!   [`monge::steady_ant::mul_batch`] vs the allocate-per-level
+//!   [`monge::steady_ant::mul_rows_reference`].
+//! * **comb-par params** — a [`CombParams`] sweep at one fixed size, exposing
+//!   the block/chunk tunables' wall-clock effect.
+//!
+//! Run with: `cargo run --release -p bench --bin exp_kernel_bench
+//! [-- --json --threads N --max-n N]` (the size grids double from 2^10 up to
+//! `--max-n`, default 2^16).
+
+use bench_suite::{bench_ns, json_envelope, random_sequence, size_sweep, ExpOpts, Table};
+use monge::steady_ant::{mul_batch, mul_rows, mul_rows_reference};
+use monge::PermutationMatrix;
+use rand::prelude::*;
+use seaweed_lis::kernel::{CombParams, SeaweedKernel};
+
+/// Rows of the comb workload (the `x` string / alphabet side).
+const COMB_M: usize = 256;
+
+/// Above this many columns the reference comb's triangular crossing bitset
+/// (`(m+n)²/2` bits — 256 MiB at 2^16, 1 GiB at 2^17) stops being worth
+/// materializing; the fast path keeps sweeping without a baseline column.
+const REF_COMB_CAP: usize = 1 << 16;
+
+/// Instances per `mul_batch` timing, sharing one arena per worker.
+const BATCH_K: usize = 4;
+
+fn random_perm_rows(n: usize, seed: u64) -> Vec<u32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut v: Vec<u32> = (0..n as u32).collect();
+    v.shuffle(&mut rng);
+    v
+}
+
+fn main() {
+    let opts = ExpOpts::from_env();
+    let sizes = {
+        let mut s = size_sweep(1 << 10, 1 << 16, opts.max_n);
+        if s.is_empty() {
+            s.push(opts.max_n.unwrap_or(1 << 10).max(64));
+        }
+        s
+    };
+    // Small sizes finish in microseconds: repeat until the timer is trustworthy.
+    // Mid sizes (tens of ms per run) still jitter under ambient load, so insist
+    // on several runs there too; only the multi-second giants get a short leash.
+    let total_ms = 60;
+    let runs_for = |n: usize| if n <= (1 << 17) { 7 } else { 3 };
+
+    // ------------------------------------------------------------------- comb
+    let mut comb = Table::new(vec![
+        "n",
+        "m",
+        "ref ns",
+        "fast ns",
+        "speedup",
+        "cells/us",
+        "identical",
+    ]);
+    for &n in &sizes {
+        let x = random_sequence(COMB_M, COMB_M as u32, 0xC0 + n as u64);
+        let y = random_sequence(n, COMB_M as u32, 0xC1 + n as u64);
+        let fast_ns = bench_ns(runs_for(n), total_ms, || {
+            SeaweedKernel::comb_bitparallel(&x, &y)
+        });
+        let cells_per_us = (COMB_M as f64 * n as f64) / fast_ns as f64 * 1e3;
+        let (ref_ns, speedup, identical) = if n <= REF_COMB_CAP {
+            let ref_ns = bench_ns(runs_for(n), total_ms, || SeaweedKernel::comb(&x, &y));
+            let same = SeaweedKernel::comb_bitparallel(&x, &y) == SeaweedKernel::comb(&x, &y);
+            (
+                ref_ns.to_string(),
+                format!("{:.2}", ref_ns as f64 / fast_ns as f64),
+                if same { "yes" } else { "no" }.to_string(),
+            )
+        } else {
+            (String::new(), String::new(), String::new())
+        };
+        comb.row(vec![
+            n.to_string(),
+            COMB_M.to_string(),
+            ref_ns,
+            fast_ns.to_string(),
+            speedup,
+            format!("{cells_per_us:.0}"),
+            identical,
+        ]);
+    }
+
+    // -------------------------------------------------------------------- mul
+    let mut mul = Table::new(vec![
+        "n",
+        "ref ns",
+        "ws ns",
+        "batch ns/inst",
+        "speedup",
+        "elems/us",
+        "identical",
+    ]);
+    for &n in &sizes {
+        let pa = random_perm_rows(n, 0xA0 + n as u64);
+        let pb = random_perm_rows(n, 0xB0 + n as u64);
+        let instances: Vec<(PermutationMatrix, PermutationMatrix)> = (0..BATCH_K as u64)
+            .map(|i| {
+                (
+                    PermutationMatrix::from_rows(random_perm_rows(n, 2 * i + 1)),
+                    PermutationMatrix::from_rows(random_perm_rows(n, 2 * i + 2)),
+                )
+            })
+            .collect();
+        // Interleave the three variants round-robin so ambient load spikes hit
+        // them equally; best-of across rounds then cancels the noise instead of
+        // skewing one side of the speedup ratio.
+        let (mut ref_ns, mut ws_ns, mut batch_total) = (u64::MAX, u64::MAX, u64::MAX);
+        for _ in 0..runs_for(n) {
+            ref_ns = ref_ns.min(bench_ns(1, total_ms / 10, || mul_rows_reference(&pa, &pb)));
+            ws_ns = ws_ns.min(bench_ns(1, total_ms / 10, || mul_rows(&pa, &pb)));
+            batch_total = batch_total.min(bench_ns(1, total_ms / 10, || mul_batch(&instances)));
+        }
+        let batch_ns = batch_total / instances.len() as u64;
+        let identical = mul_rows(&pa, &pb) == mul_rows_reference(&pa, &pb)
+            && mul_batch(&instances)
+                .iter()
+                .zip(&instances)
+                .all(|(c, (a, b))| c.rows() == mul_rows_reference(a.rows(), b.rows()));
+        mul.row(vec![
+            n.to_string(),
+            ref_ns.to_string(),
+            ws_ns.to_string(),
+            batch_ns.to_string(),
+            format!("{:.2}", ref_ns as f64 / ws_ns as f64),
+            format!("{:.0}", n as f64 / ws_ns as f64 * 1e3),
+            if identical { "yes" } else { "no" }.to_string(),
+        ]);
+    }
+
+    // ------------------------------------------------------- comb-par params
+    let sweep_n = sizes.last().copied().unwrap_or(1 << 10).min(1 << 15);
+    let sx = random_sequence(COMB_M, COMB_M as u32, 0xD0);
+    let sy = random_sequence(sweep_n, COMB_M as u32, 0xD1);
+    let mut params_table = Table::new(vec!["n", "min block", "max comb cols", "ns"]);
+    for min_block in [64usize, 256, 1024] {
+        for max_comb_cols in [1024usize, 4096, 16384] {
+            let params = CombParams {
+                min_block,
+                max_comb_cols,
+            };
+            let ns = bench_ns(runs_for(sweep_n), total_ms, || {
+                SeaweedKernel::comb_par_with(&sx, &sy, &params)
+            });
+            params_table.row(vec![
+                sweep_n.to_string(),
+                min_block.to_string(),
+                max_comb_cols.to_string(),
+                ns.to_string(),
+            ]);
+        }
+    }
+
+    if opts.json {
+        println!(
+            "{}",
+            json_envelope(
+                "exp_kernel_bench",
+                &[
+                    ("comb", comb.render_json()),
+                    ("mul", mul.render_json()),
+                    ("comb_par_params", params_table.render_json()),
+                ]
+            )
+        );
+        return;
+    }
+    println!(
+        "E7: local kernel wall-clock (best-of timing, {} threads)\n",
+        opts.effective_threads()
+    );
+    println!("seaweed comb — bit-parallel fast path vs crossing-history oracle (m = {COMB_M})\n");
+    println!("{}", comb.render());
+    println!(
+        "steady-ant ⊡ — arena workspace / data-parallel batch vs allocate-per-level reference\n"
+    );
+    println!("{}", mul.render());
+    println!("comb_par CombParams sweep (n = {sweep_n})\n");
+    println!("{}", params_table.render());
+    println!(
+        "Reading: `identical` must be \"yes\" wherever the reference runs — the optimized\n\
+         kernels are bit-identical, only faster. The comb reference column stops at\n\
+         n = {REF_COMB_CAP} (its crossing bitset is quadratic; the fast path is linear-space\n\
+         and continues), and the mul speedup column is the arena workspace against the\n\
+         allocate-per-level recursion on the same operands."
+    );
+}

@@ -8,7 +8,10 @@
 //! is validated against the input on every row). A third run per size injects
 //! a machine kill mid-merge (`rec rounds` / `rec ratio` columns): checkpoint
 //! replication plus the repair must reproduce the fault-free outputs bit for
-//! bit at ≤ 2× the length-only rounds, with zero space violations.
+//! bit at ≤ 2× the length-only rounds, with zero space violations. The `ms` /
+//! `wit ms` / `rec ms` columns record the simulated pipelines' wall-clock time,
+//! tracking the bit-parallel comb and arena-backed steady-ant hot paths that do
+//! the actual local work beneath the round accounting.
 //!
 //! Run with: `cargo run --release -p bench --bin exp_lis_rounds
 //! [-- --json --threads N --max-n N]` (the size grid doubles from 2^11 up to
@@ -38,6 +41,9 @@ fn main() {
         "wit ratio",
         "rec rounds",
         "rec ratio",
+        "ms",
+        "wit ms",
+        "rec ms",
     ]);
     let mut samples = Vec::new();
     let mut sizes = size_sweep(1 << 11, 1 << 15, opts.max_n);
@@ -49,7 +55,9 @@ fn main() {
         let seq = noisy_trend(n, (n / 3).max(2) as u32, 0xBEEF + n as u64);
         let expected = lis_length_patience(&seq);
         let mut cluster = Cluster::new(MpcConfig::new(n, delta).recording());
+        let started = std::time::Instant::now();
         let outcome = lis_kernel_mpc(&mut cluster, &seq, &MulParams::default());
+        let wall_ms = started.elapsed().as_secs_f64() * 1e3;
         assert_eq!(outcome.length, expected, "correctness check at n = {n}");
         let rounds = cluster.rounds();
 
@@ -57,7 +65,9 @@ fn main() {
         // plus the O(log n)-round traceback; validate the witness and pin the
         // overhead to ≤ 2× of length-only.
         let mut witness_cluster = Cluster::new(MpcConfig::new(n, delta).recording());
+        let witness_started = std::time::Instant::now();
         let traced = lis_witness_mpc(&mut witness_cluster, &seq, &MulParams::default());
+        let witness_ms = witness_started.elapsed().as_secs_f64() * 1e3;
         let witness = traced.witness.expect("witness requested");
         assert_eq!(witness.len(), expected, "witness length at n = {n}");
         assert!(
@@ -82,7 +92,9 @@ fn main() {
         let plan = FaultPlan::kill(0, lo + (hi - lo) / 2);
         let mut recovery_cluster =
             Cluster::new(MpcConfig::new(n, delta).recording().with_faults(plan));
+        let recovery_started = std::time::Instant::now();
         let recovered = lis_witness_mpc(&mut recovery_cluster, &seq, &MulParams::default());
+        let recovery_ms = recovery_started.elapsed().as_secs_f64() * 1e3;
         assert_eq!(recovered.length, expected, "recovered length at n = {n}");
         assert_eq!(
             recovered.kernel, traced.kernel,
@@ -124,6 +136,9 @@ fn main() {
             format!("{ratio:.2}"),
             recovery_rounds.to_string(),
             format!("{recovery_ratio:.2}"),
+            format!("{wall_ms:.1}"),
+            format!("{witness_ms:.1}"),
+            format!("{recovery_ms:.1}"),
         ]);
     }
     // Least-squares fit rounds = a·log2(n) + b (degenerate with one sample:
@@ -165,6 +180,8 @@ fn main() {
          the witness-enabled pipeline (recorded merge tree + top-down traceback): its round\n\
          overhead over length-only is asserted ≤ 2× on every row. The rec columns re-run the\n\
          witness pipeline with machine 0 killed mid-merge: level checkpoints + O(1)-round\n\
-         repair reproduce the fault-free outputs bit for bit, also asserted ≤ 2×."
+         repair reproduce the fault-free outputs bit for bit, also asserted ≤ 2×. The ms\n\
+         columns are wall-clock per pipeline run — the trajectory the local-kernel work\n\
+         (bit-parallel comb, arena steady-ant) makes feasible out to n = 2^20 and beyond."
     );
 }

@@ -223,6 +223,29 @@ pub fn noisy_trend(n: usize, noise: u32, seed: u64) -> Vec<u32> {
         .collect()
 }
 
+/// Best-of wall-clock timing of `f` in nanoseconds: runs at least `min_runs`
+/// times and until `min_total_ms` of accumulated time, whichever is later
+/// (hard-capped at 1000 runs), and reports the fastest run. Best-of is robust
+/// against scheduler noise for single-process kernels; the result is fed
+/// through [`std::hint::black_box`] so the work is not optimized away.
+pub fn bench_ns<R>(min_runs: usize, min_total_ms: u64, mut f: impl FnMut() -> R) -> u64 {
+    let min_runs = min_runs.max(1);
+    let min_total = std::time::Duration::from_millis(min_total_ms);
+    let mut best = u64::MAX;
+    let mut total = std::time::Duration::ZERO;
+    let mut runs = 0usize;
+    while runs < min_runs || (total < min_total && runs < 1000) {
+        let start = std::time::Instant::now();
+        let out = f();
+        let elapsed = start.elapsed();
+        std::hint::black_box(&out);
+        best = best.min(elapsed.as_nanos() as u64);
+        total += elapsed;
+        runs += 1;
+    }
+    best.max(1)
+}
+
 /// Simple fixed-width table printer for the experiment binaries.
 pub struct Table {
     headers: Vec<String>,

@@ -15,8 +15,12 @@
 //!    relabelled to the union of its value sets (inflation — `O(1)` rounds of index
 //!    arithmetic) and the two kernels are composed with one *batched* MPC unit-Monge
 //!    multiplication (`monge_mpc::mul_batch`), run under a `lis-merge-L<k>` ledger
-//!    scope so every inner `⊡` phase is attributed per level. The level count is
-//!    `⌈log₂(n / B)⌉`, hence `O(log n)` rounds in total.
+//!    scope so every inner `⊡` phase is attributed per level. Beneath the round
+//!    accounting, every pair's local `⊡` runs on the arena-backed steady-ant
+//!    kernel (`monge::steady_ant`): one reusable per-worker scratch workspace
+//!    serves the entire level's merge batch, so the hot path allocates nothing
+//!    but the results. The level count is `⌈log₂(n / B)⌉`, hence `O(log n)`
+//!    rounds in total.
 //!
 //! The whole pipeline honors the strict `s = Õ(n^{1−δ})` budget: it runs on
 //! [`mpc_runtime::MpcConfig::new`] (strict) clusters with zero recorded
@@ -185,8 +189,10 @@ pub fn base_block_size(n: usize, config: &MpcConfig, local_threshold: usize) -> 
 }
 
 /// Chunk size for streamed base-block combing: the largest sub-block whose
-/// `(2c)²`-bit crossing history fits the machine's word budget (`c²/16 ≤ s`),
-/// floored at the direct-comb base.
+/// modeled `(2c)²`-bit crossing history fits the machine's word budget
+/// (`c²/16 ≤ s`), floored at the direct-comb base. (The actual comb is the
+/// history-free bit-parallel fast path; this budget keeps the space model
+/// honest for the reference construction.)
 fn comb_chunk(space: usize) -> usize {
     (4.0 * (space as f64).sqrt()).floor().max(32.0) as usize
 }

@@ -8,7 +8,11 @@
 //! Per level the driver performs, in `O(1)` primitive rounds:
 //!
 //! * **local solve** — instances that fit into a machine's space are gathered with
-//!   one `group_map` and multiplied with the sequential steady-ant kernel;
+//!   one `group_map` and multiplied with the sequential steady-ant kernel
+//!   ([`monge::steady_ant::mul_rows`], which draws its scratch from a per-worker
+//!   [`monge::steady_ant::Workspace`] arena, so the whole level's batch — the
+//!   per-level merge pairs of `lis-mpc` and the grid phase's batched packages
+//!   alike — runs allocation-free after warm-up);
 //! * **split** — larger instances are cut into `H` compacted subproblems with one
 //!   sort-based rank relabelling (Lemma 2.3/2.5);
 //! * on the way back up, **lift** (two sort-based joins restore parent coordinates)

@@ -19,8 +19,9 @@
 //! * [`dominance`] — offline/online 2-D dominance counting used by the semi-local
 //!   query structures and by the tests.
 //!
-//! Everything here is deterministic and single-threaded; parallel execution lives in
-//! the `mpc-runtime` / `monge-mpc` crates.
+//! Everything here is deterministic; the only parallelism is the data-parallel
+//! [`steady_ant::mul_batch`] (bit-identical at every thread count) — simulated
+//! distributed execution lives in the `mpc-runtime` / `monge-mpc` crates.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -36,7 +37,9 @@ pub mod verify;
 pub use dense::mul_dense;
 pub use matrix::{PermutationMatrix, SubPermutationMatrix};
 pub use steady_ant::mul as mul_steady_ant;
+pub use steady_ant::mul_batch as mul_steady_ant_batch;
 pub use steady_ant::mul_sub as mul_steady_ant_sub;
+pub use steady_ant::Workspace as SteadyAntWorkspace;
 
 /// Convenience alias: multiply two permutation matrices with the production
 /// (steady-ant) algorithm.

@@ -20,6 +20,25 @@
 //! `P_{X, Y₁Y₂} = (P_{X,Y₁} ⊕ I_{n₂}) ⊡ (I_{n₁} ⊕ P_{X,Y₂})`
 //! (see [`compose_horizontal`]), which is why Theorem 1.1/1.2 immediately yield
 //! parallel LIS and LCS algorithms.
+//!
+//! # Combing fast: the comparison rule and the word-level braid invariant
+//!
+//! [`SeaweedKernel::comb`] materializes the full crossing history (a triangular
+//! bitset over unordered seaweed pairs) and consults it at every cell — the
+//! textbook construction, kept as the differential oracle. The production path,
+//! [`SeaweedKernel::comb_bitparallel`], exploits a structural fact of the braid:
+//! two seaweeds meeting at a cell (the horizontal one carrying id `h`, the
+//! vertical one id `v`) have crossed before **iff `h > v`**. Seaweed ids equal
+//! counterclockwise entry positions, seaweed paths are monotone (down/right
+//! only), and a pair physically crosses at most once, so the pair has crossed
+//! exactly when its current anti-diagonal order disagrees with its entry order.
+//! The per-cell update therefore needs no history at all:
+//! *swap ids iff `x[i] == y[j] || h > v`*. On top of that comparison rule the
+//! fast comb packs the match structure of 64 columns into one `u64` word and
+//! keeps, per word, the minimum resident vertical id. A whole word is
+//! *transparent* to the sweeping seaweed — no match bit and minimum id `≥ h`
+//! means no cell in it can swap — and is skipped with two word-level
+//! comparisons; only opaque words are walked cell by cell.
 
 use monge::dominance::DominanceCounter;
 use monge::{mul, PermutationMatrix};
@@ -48,13 +67,14 @@ impl SeaweedKernel {
     }
 
     /// Computes the kernel of `(x, y)` by direct seaweed combing: `O(mn)` time,
-    /// `O((m+n)²/64)` bits for the crossing history. This is the ground-truth
-    /// construction; the divide-and-conquer constructions in [`crate::lis`] produce
-    /// identical kernels using `⊡`.
+    /// `(m+n)(m+n−1)/2` bits for the crossing history. This is the ground-truth
+    /// construction and the differential oracle for the fast path
+    /// ([`SeaweedKernel::comb_bitparallel`]); the divide-and-conquer
+    /// constructions in [`crate::lis`] produce identical kernels using `⊡`.
     pub fn comb(x: &[u32], y: &[u32]) -> Self {
         let (m, n) = (x.len(), y.len());
         let total = m + n;
-        // crossed[a * total + b] records whether seaweeds a and b have crossed.
+        // crossed records, per unordered pair {a, b}, whether a and b have crossed.
         let mut crossed = CrossingSet::new(total);
 
         // Seaweed ids equal their entry index: left row i enters as id m-1-i,
@@ -91,51 +111,154 @@ impl SeaweedKernel {
         }
     }
 
+    /// Bit-parallel comb: computes exactly the kernel of [`SeaweedKernel::comb`]
+    /// without any crossing history, in `O(m·n/64 + (opaque cells))` time and
+    /// `O(m + n)` space: every row scans the `n/64` resident-minimum words, but
+    /// a transparent word costs one comparison instead of 64 cell updates.
+    ///
+    /// The per-cell rule is the comparison form of combing (see the module docs):
+    /// the sweeping seaweed id `h` and the resident column id `v[j]` swap iff
+    /// `x[i] == y[j] || h > v[j]`. The match structure of `y` is packed 64
+    /// columns per `u64` word, and each word carries a running minimum of its
+    /// resident ids. The **word-level braid invariant** is that a word with no
+    /// match bit whose minimum resident id is `≥ h` is *transparent*: the
+    /// sweeping seaweed crosses all 64 columns without a single swap, so the
+    /// word's state is untouched and `h` is unchanged. Both conditions are one
+    /// word-level comparison each (`mbits == 0` and `wmin[w] >= h`), so a
+    /// transparent word costs `O(1)` instead of 64 cell updates; only opaque
+    /// words are walked cell by cell (refreshing their minimum in the same
+    /// pass). On the LIS workloads of [`crate::lis`] the vast majority of words
+    /// are transparent, which is where the measured speedup of
+    /// `exp_kernel_bench` comes from.
+    pub fn comb_bitparallel(x: &[u32], y: &[u32]) -> Self {
+        let (m, n) = (x.len(), y.len());
+        let total = m + n;
+        let words = n.div_ceil(64);
+
+        // Dense alphabet of y plus CSR lists of each symbol's match columns
+        // (ascending), so a row's match bits are gathered word by word without
+        // a quadratic per-symbol bitmask table.
+        let mut symbols: Vec<u32> = y.to_vec();
+        symbols.sort_unstable();
+        symbols.dedup();
+        let mut starts = vec![0u32; symbols.len() + 1];
+        for &v in y {
+            let s = symbols.partition_point(|&u| u < v);
+            starts[s + 1] += 1;
+        }
+        for s in 0..symbols.len() {
+            starts[s + 1] += starts[s];
+        }
+        let mut match_cols = vec![0u32; n];
+        let mut cursor: Vec<u32> = starts[..symbols.len()].to_vec();
+        for (j, &v) in y.iter().enumerate() {
+            let s = symbols.partition_point(|&u| u < v);
+            match_cols[cursor[s] as usize] = j as u32;
+            cursor[s] += 1;
+        }
+
+        // v[j]: id of the seaweed currently occupying column j (init m + j).
+        let mut v: Vec<u32> = (0..n as u32).map(|j| m as u32 + j).collect();
+        // wmin[w]: minimum resident id over word w's columns.
+        let mut wmin: Vec<u32> = (0..words).map(|w| (m + 64 * w) as u32).collect();
+        let mut exits = vec![0u32; total];
+
+        for i in 0..m {
+            let mut h = (m - 1 - i) as u32;
+            let (mut p, pend) = {
+                let s = symbols.partition_point(|&u| u < x[i]);
+                if s < symbols.len() && symbols[s] == x[i] {
+                    (starts[s] as usize, starts[s + 1] as usize)
+                } else {
+                    (0, 0)
+                }
+            };
+            for (w, wm) in wmin.iter_mut().enumerate() {
+                let base = w * 64;
+                let word_end = (base + 64).min(n);
+                // Gather this row's match bits for the word.
+                let mut mbits = 0u64;
+                while p < pend && (match_cols[p] as usize) < word_end {
+                    mbits |= 1u64 << (match_cols[p] as usize - base);
+                    p += 1;
+                }
+                // Word-level braid invariant: transparent word, skip in O(1).
+                if mbits == 0 && *wm >= h {
+                    continue;
+                }
+                let mut newmin = u32::MAX;
+                for (j, vj) in v[base..word_end].iter_mut().enumerate() {
+                    let t = *vj;
+                    if (mbits >> j) & 1 == 1 || h > t {
+                        // Bounce, exactly as in `comb`.
+                        *vj = h;
+                        h = t;
+                    }
+                    newmin = newmin.min(*vj);
+                }
+                *wm = newmin;
+            }
+            exits[h as usize] = (n + (m - 1 - i)) as u32;
+        }
+        for (j, &id) in v.iter().enumerate() {
+            exits[id as usize] = j as u32;
+        }
+        Self {
+            m,
+            n,
+            perm: PermutationMatrix::from_rows(exits),
+        }
+    }
+
     /// Budget-bounded streaming comb: combs `y` in column chunks of at most
     /// `max_cols` columns and composes the chunk kernels left to right with the
     /// concatenation law `P_{X, Y₁Y₂} = (P₁ ⊕ I) ⊡ (I ⊕ P₂)`.
     ///
-    /// Direct combing materializes a crossing bitset of `(m + n)²` bits; the
-    /// streamed variant touches only `(m + max_cols)²` bits at a time, so a
-    /// machine with a word budget `s` can comb arbitrarily long `y` against a
-    /// short `x` without ever holding the full quadratic history. The result is
-    /// **identical** to [`SeaweedKernel::comb`] (the composition law is exact).
+    /// The reference comb materializes a crossing bitset of `(m + n)²/2` bits;
+    /// the streamed variant's modeled footprint is only `(m + max_cols)²/2`
+    /// bits per chunk, so a machine with a word budget `s` can comb arbitrarily
+    /// long `y` against a short `x` without ever holding the full quadratic
+    /// history. Each chunk is combed with the bit-parallel fast path
+    /// ([`SeaweedKernel::comb_bitparallel`]); the result is **identical** to
+    /// [`SeaweedKernel::comb`] (the composition law is exact).
     pub fn comb_streamed(x: &[u32], y: &[u32], max_cols: usize) -> Self {
         let chunk = max_cols.max(1);
         if y.len() <= chunk {
-            return Self::comb(x, y);
+            return Self::comb_bitparallel(x, y);
         }
         y.chunks(chunk)
-            .map(|block| Self::comb(x, block))
+            .map(|block| Self::comb_bitparallel(x, block))
             .reduce(|acc, next| compose_horizontal(&acc, &next))
             .expect("y has at least one chunk")
     }
 
-    /// Parallel block combing: splits `Y` into one block per thread, combs the
-    /// blocks concurrently, and merges the block kernels left to right with the
-    /// concatenation law `P_{X, Y₁Y₂} = (P₁ ⊕ I) ⊡ (I ⊕ P₂)`.
+    /// Parallel block combing with default [`CombParams`]: splits `Y` into one
+    /// block per thread, combs the blocks concurrently, and merges the block
+    /// kernels left to right with the concatenation law
+    /// `P_{X, Y₁Y₂} = (P₁ ⊕ I) ⊡ (I ⊕ P₂)`.
     ///
     /// The result is **identical** to [`SeaweedKernel::comb`] (the composition
     /// law is exact, not approximate — see the `composition_matches_direct_combing`
     /// test), so this is a drop-in for large inputs. With one thread, or below
-    /// the block threshold, it falls back to direct combing.
+    /// the block threshold, it falls back to streamed combing.
     pub fn comb_par(x: &[u32], y: &[u32]) -> Self {
-        /// Below this many columns per block the O(mn) combing is cheaper than
-        /// the O((m+n) log(m+n)) merge multiplications it would save.
-        const MIN_BLOCK: usize = 256;
-        /// Each block is itself combed in streamed sub-chunks of at most this
-        /// many columns, capping the crossing bitset at `(m + 4096)²` bits no
-        /// matter how long `y` is.
-        const MAX_COMB_COLS: usize = 4096;
+        Self::comb_par_with(x, y, &CombParams::default())
+    }
+
+    /// [`SeaweedKernel::comb_par`] with explicit tuning knobs, so the bench
+    /// harness (`exp_kernel_bench`) can sweep block and chunk sizes.
+    pub fn comb_par_with(x: &[u32], y: &[u32], params: &CombParams) -> Self {
+        let min_block = params.min_block.max(1);
+        let max_cols = params.max_comb_cols.max(1);
         let threads = rayon::current_num_threads();
-        if threads <= 1 || y.len() < 2 * MIN_BLOCK {
-            return Self::comb_streamed(x, y, MAX_COMB_COLS);
+        if threads <= 1 || y.len() < 2 * min_block {
+            return Self::comb_streamed(x, y, max_cols);
         }
-        let block = y.len().div_ceil(threads).max(MIN_BLOCK);
+        let block = y.len().div_ceil(threads).max(min_block);
         let blocks: Vec<&[u32]> = y.chunks(block).collect();
         let kernels: Vec<SeaweedKernel> = blocks
             .into_par_iter()
-            .map(|b| Self::comb_streamed(x, b, MAX_COMB_COLS))
+            .map(|b| Self::comb_streamed(x, b, max_cols))
             .collect();
         kernels
             .into_iter()
@@ -329,6 +452,29 @@ impl SeaweedKernel {
     }
 }
 
+/// Tuning knobs for [`SeaweedKernel::comb_par_with`].
+///
+/// The defaults reproduce the previously hard-coded constants; `exp_kernel_bench`
+/// sweeps both knobs to expose their wall-clock effect.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CombParams {
+    /// Below this many columns per block the O(mn) combing is cheaper than the
+    /// O((m+n) log(m+n)) merge multiplications parallel blocking would save.
+    pub min_block: usize,
+    /// Each block is combed in streamed sub-chunks of at most this many columns,
+    /// capping the modeled per-chunk footprint no matter how long `y` is.
+    pub max_comb_cols: usize,
+}
+
+impl Default for CombParams {
+    fn default() -> Self {
+        Self {
+            min_block: 256,
+            max_comb_cols: 4096,
+        }
+    }
+}
+
 /// Builds the two padded permutation matrices whose implicit unit-Monge product is
 /// the kernel of the concatenation: `P_{X,Y₁Y₂} = (P₁ ⊕ I_{n₂}) ⊡ (I_{n₁} ⊕ P₂)`.
 ///
@@ -407,6 +553,11 @@ impl SemiLocalQueries {
 }
 
 /// Dense bitset recording which unordered seaweed pairs have crossed.
+///
+/// Pairs are stored triangularly — entry `(lo, hi)` with `lo < hi` lives at bit
+/// `hi(hi−1)/2 + lo` — so the set holds `total(total−1)/2` bits, half of the
+/// naive `total²` square layout. Seaweed ids are distinct, so the diagonal never
+/// occurs.
 struct CrossingSet {
     total: usize,
     bits: Vec<u64>,
@@ -414,7 +565,8 @@ struct CrossingSet {
 
 impl CrossingSet {
     fn new(total: usize) -> Self {
-        let words = (total * total).div_ceil(64);
+        let pairs = total * total.saturating_sub(1) / 2;
+        let words = pairs.div_ceil(64);
         Self {
             total,
             bits: vec![0; words.max(1)],
@@ -422,8 +574,14 @@ impl CrossingSet {
     }
 
     fn index(&self, a: u32, b: u32) -> usize {
-        let (lo, hi) = if a < b { (a, b) } else { (b, a) };
-        lo as usize * self.total + hi as usize
+        debug_assert_ne!(a, b, "a seaweed never crosses itself");
+        let (lo, hi) = if a < b {
+            (a as usize, b as usize)
+        } else {
+            (b as usize, a as usize)
+        };
+        debug_assert!(hi < self.total);
+        hi * (hi - 1) / 2 + lo
     }
 
     fn contains(&self, a: u32, b: u32) -> bool {
@@ -568,6 +726,89 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn comb_bitparallel_equals_reference_comb() {
+        // The fast path must be bit-identical to the crossing-history oracle,
+        // including duplicate-heavy alphabets, symbols of x absent from y, and
+        // sizes straddling the 64-column word boundary.
+        let mut rng = StdRng::seed_from_u64(31);
+        for _ in 0..60 {
+            let m = rng.gen_range(0..20);
+            let n = rng.gen_range(0..150);
+            let alphabet = rng.gen_range(1..8);
+            let x = random_string(m, alphabet + 4, &mut rng);
+            let y = random_string(n, alphabet, &mut rng);
+            assert_eq!(
+                SeaweedKernel::comb_bitparallel(&x, &y),
+                SeaweedKernel::comb(&x, &y),
+                "x={x:?} y={y:?}"
+            );
+        }
+        for (m, n) in [(0, 0), (0, 5), (5, 0), (1, 1), (3, 64), (3, 65), (2, 128)] {
+            let x = random_string(m, 3, &mut rng);
+            let y = random_string(n, 3, &mut rng);
+            assert_eq!(
+                SeaweedKernel::comb_bitparallel(&x, &y),
+                SeaweedKernel::comb(&x, &y),
+                "m={m} n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn crossing_set_triangular_indexing_at_boundaries() {
+        // Exhaustive check that insert/contains agree for every unordered pair
+        // and both argument orders, across totals that straddle word boundaries
+        // (the boundary indices 0, total−2, total−1 included).
+        for total in [2usize, 3, 5, 11, 12, 64, 65] {
+            let mut set = CrossingSet::new(total);
+            let mut inserted: Vec<(u32, u32)> = Vec::new();
+            let pairs: Vec<(u32, u32)> = (0..total as u32)
+                .flat_map(|lo| (lo + 1..total as u32).map(move |hi| (lo, hi)))
+                .collect();
+            for &(lo, hi) in &pairs {
+                assert!(!set.contains(lo, hi), "total={total} pre ({lo},{hi})");
+                assert!(!set.contains(hi, lo));
+                set.insert(hi, lo); // insert in reversed order on purpose
+                inserted.push((lo, hi));
+                for &(a, b) in &pairs {
+                    let expect = inserted.contains(&(a, b));
+                    assert_eq!(set.contains(a, b), expect, "total={total} ({a},{b})");
+                    assert_eq!(set.contains(b, a), expect);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn comb_par_with_params_equals_direct_combing() {
+        // Sweeping CombParams must never change the result, only the schedule.
+        let mut rng = StdRng::seed_from_u64(17);
+        let x = random_string(24, 6, &mut rng);
+        let y = random_string(900, 6, &mut rng);
+        let direct = SeaweedKernel::comb(&x, &y);
+        for min_block in [1usize, 64, 256, 2048] {
+            for max_comb_cols in [32usize, 300, 4096] {
+                let params = CombParams {
+                    min_block,
+                    max_comb_cols,
+                };
+                assert_eq!(
+                    SeaweedKernel::comb_par_with(&x, &y, &params),
+                    direct,
+                    "params={params:?}"
+                );
+            }
+        }
+        assert_eq!(
+            CombParams::default(),
+            CombParams {
+                min_block: 256,
+                max_comb_cols: 4096
+            }
+        );
     }
 
     #[test]

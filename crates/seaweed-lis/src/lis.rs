@@ -138,7 +138,7 @@ pub fn lis_kernel_permutation(perm: &[u32]) -> SeaweedKernel {
 
     if n <= COMB_BASE {
         let x: Vec<u32> = (0..n as u32).collect();
-        return SeaweedKernel::comb(&x, perm);
+        return SeaweedKernel::comb_bitparallel(&x, perm);
     }
 
     let half = n / 2;
@@ -160,10 +160,13 @@ pub fn lis_kernel_permutation(perm: &[u32]) -> SeaweedKernel {
 /// `0..n` by combing consecutive sub-blocks of at most `chunk` elements and
 /// composing them left to right.
 ///
-/// Each sub-block is first relabelled to its own compact alphabet, so the
-/// direct comb touches a `chunk × chunk` grid with `2·chunk` seaweeds — a
-/// crossing bitset of `(2·chunk)²` bits — instead of the `(2n)²` bits a direct
-/// comb of the whole permutation would materialize. The sub-kernel is inflated
+/// Each sub-block is first relabelled to its own compact alphabet, so one comb
+/// touches a `chunk × chunk` grid with `2·chunk` seaweeds — a modeled crossing
+/// history of `(2·chunk)²` bits — instead of the `(2n)²` bits a direct comb of
+/// the whole permutation would charge. (The blocks are combed with the
+/// history-free [`SeaweedKernel::comb_bitparallel`] fast path, so the actual
+/// footprint is linear; the chunked shape is what the MPC space accounting
+/// models.) The sub-kernel is inflated
 /// back to the full alphabet ([`SeaweedKernel::inflate_rows`]) and folded into
 /// the accumulator with one `⊡` per sub-block, mirroring the §4.2 block
 /// decomposition on a single machine. Working set: `O(n + chunk²/w)` words.
@@ -176,13 +179,13 @@ pub fn lis_kernel_permutation_streamed(perm: &[u32], chunk: usize) -> SeaweedKer
     let chunk = chunk.max(1);
     if n <= chunk {
         let x: Vec<u32> = (0..n as u32).collect();
-        return SeaweedKernel::comb(&x, perm);
+        return SeaweedKernel::comb_bitparallel(&x, perm);
     }
     perm.chunks(chunk)
         .map(|sub| {
             let (relabelled, values) = relabel(sub);
             let x: Vec<u32> = (0..sub.len() as u32).collect();
-            SeaweedKernel::comb(&x, &relabelled).inflate_rows(&values, n)
+            SeaweedKernel::comb_bitparallel(&x, &relabelled).inflate_rows(&values, n)
         })
         .reduce(|acc, next| compose_horizontal(&acc, &next))
         .expect("perm has at least one chunk")
@@ -336,7 +339,7 @@ fn build_trace(items: Vec<(u32, u32)>) -> TraceNode {
             .map(|&(_, r)| values.partition_point(|&v| v < r as usize) as u32)
             .collect();
         let x: Vec<u32> = (0..compact.len() as u32).collect();
-        let kernel = SeaweedKernel::comb(&x, &compact);
+        let kernel = SeaweedKernel::comb_bitparallel(&x, &compact);
         return TraceNode {
             values,
             kernel,

@@ -132,6 +132,51 @@ proptest! {
         prop_assert_eq!(monge_mpc::mul(&mut cluster, &pa, &pb, &params), expected);
     }
 
+    /// The bit-parallel comb (comparison-rule + word-skip fast path) is
+    /// bit-identical to the crossing-history oracle comb on duplicate-heavy
+    /// inputs — the regime where the match masks are densest and the
+    /// word-transparency shortcut is exercised hardest.
+    #[test]
+    fn comb_bitparallel_matches_oracle(x in sequence(24, 4), y in sequence(80, 4)) {
+        prop_assert_eq!(
+            SeaweedKernel::comb_bitparallel(&x, &y),
+            SeaweedKernel::comb(&x, &y)
+        );
+    }
+
+    /// The arena-backed steady ant (pooled workspace + dense base case) is
+    /// bit-identical to the allocate-per-level reference recursion.
+    #[test]
+    fn workspace_steady_ant_matches_reference((a, b) in perm_pair(96)) {
+        prop_assert_eq!(
+            monge_mpc_suite::monge::steady_ant::mul_rows(&a, &b),
+            monge_mpc_suite::monge::steady_ant::mul_rows_reference(&a, &b)
+        );
+    }
+
+    /// The data-parallel batch product equals a sequential loop of `mul`, at
+    /// every thread count: per-worker arenas must not leak state across
+    /// instances or workers.
+    #[test]
+    fn mul_batch_matches_sequential_across_threads(
+        (a, b) in perm_pair(48), (c, d) in perm_pair(33), threads in 1usize..=4
+    ) {
+        let instances = vec![
+            (PermutationMatrix::from_rows(a), PermutationMatrix::from_rows(b)),
+            (PermutationMatrix::from_rows(c), PermutationMatrix::from_rows(d)),
+        ];
+        let expected: Vec<PermutationMatrix> = instances
+            .iter()
+            .map(|(pa, pb)| mul_steady_ant(pa, pb))
+            .collect();
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("pool");
+        let got = pool.install(|| monge_mpc_suite::monge::mul_steady_ant_batch(&instances));
+        prop_assert_eq!(got, expected);
+    }
+
     /// Kernel window queries equal the DP LCS for every window.
     #[test]
     fn kernel_windows_match_dp(x in sequence(10, 4), y in sequence(12, 4)) {

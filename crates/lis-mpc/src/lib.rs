@@ -44,10 +44,13 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod append;
 pub mod lcs;
 pub mod lis;
 mod recovery;
 pub mod witness;
 
+pub use append::{AppendStats, AppendableLisKernel};
 pub use lcs::{lcs_length_mpc, lcs_witness_mpc, MpcLcsOutcome};
 pub use lis::{lis_kernel_mpc, lis_length_mpc, lis_witness_mpc, MpcLisOutcome};
+pub use witness::{recover_batch, WitnessTrace};

@@ -230,11 +230,21 @@ pub fn lis_witness_mpc<T: Ord>(
     outcome
 }
 
+/// The base block size the pipeline picks for a length-`n` sequence on
+/// `config` — the one [`base_block_size`] call site's parameters, exposed so
+/// out-of-pipeline trace builders ([`crate::witness::WitnessTrace::record`])
+/// and incremental rebuilds can reproduce the pipeline's merge-tree shape
+/// bit for bit.
+pub fn pipeline_block_size(n: usize, config: &MpcConfig, params: &MulParams) -> usize {
+    let local_threshold = params.resolved(config, n.max(2)).local_threshold;
+    base_block_size(n, config, local_threshold)
+}
+
 /// The shared Theorem 1.3 pipeline; with `record` set, every level's nodes are
 /// snapshotted into a [`WitnessTrace`] for the top-down traceback (in the model
 /// the snapshots are the per-level kernel checkpoints left resident on the
 /// machines that combed/merged them).
-fn pipeline<T: Ord>(
+pub(crate) fn pipeline<T: Ord>(
     cluster: &mut Cluster,
     seq: &[T],
     params: &MulParams,
@@ -282,8 +292,7 @@ fn pipeline<T: Ord>(
     // (block, kind, index, value) — so the ledger sees the true 3B-item
     // footprint per block and strict clusters enforce it.
     cluster.set_phase(Some("lis-base"));
-    let local_threshold = params.resolved(cluster.config(), n.max(2)).local_threshold;
-    let block_size = base_block_size(n, cluster.config(), local_threshold);
+    let block_size = pipeline_block_size(n, cluster.config(), params);
     let chunk = comb_chunk(cluster.config().space);
     let positions = cluster.distribute(
         ranks

@@ -36,14 +36,38 @@
 //! `O(1)` rounds per level, a small constant fraction of what the level's `⊡`
 //! merge cost on the way up (the `exp_lis_rounds` harness asserts ≤ 2×
 //! overall).
+//!
+//! # Batched descent
+//!
+//! The descent generalizes to *many* value-window queries at once
+//! ([`recover_batch`]): every in-flight query carries its id down the same
+//! schedule, so a batch of `q` queries still pays one candidate-scan superstep
+//! and one shuffle per level — not `q` descents. The scanned candidates are
+//! deduplicated across queries (the checkpoints are resident; one pass over a
+//! level's entries serves every query that needs them), keeping the routed
+//! footprint at most `n` items per level regardless of batch size. This is the
+//! amortization the `lis-service` crate leans on to serve concurrent witness
+//! queries against one hot kernel.
+//!
+//! A trace can come from the MPC pipeline (`lis_witness_mpc` records it as it
+//! merges) or be recorded sequentially from the input with
+//! [`WitnessTrace::record`] — the two are bit-identical at the same block size
+//! because the `⊡` composition is exact, so a service can rebuild the trace of
+//! a cached sequence without re-running the cluster pipeline.
 
 use crate::recovery;
 use mpc_runtime::{costs, Cluster};
-use seaweed_lis::kernel::SeaweedKernel;
-use seaweed_lis::lis::{lis_witness_in_rank_range, split_window_lis};
+use seaweed_lis::kernel::{compose_horizontal, SeaweedKernel};
+use seaweed_lis::lis::{
+    lis_kernel_permutation, lis_witness_in_rank_range, rank_sequence, split_window_lis,
+};
 
-/// Per-level checkpoints recorded by the bottom-up pass.
-pub(crate) struct WitnessTrace {
+/// Per-level checkpoints recorded by the bottom-up pass of
+/// [`crate::lis::lis_witness_mpc`] (or sequentially by
+/// [`WitnessTrace::record`]): everything the top-down traceback needs to
+/// realize value-window witness queries without touching the pipeline again.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WitnessTrace {
     /// Global rank of every input position (the sequence the blocks hold).
     pub(crate) ranks: Vec<u32>,
     /// Base block size (positions `[b·B, (b+1)·B)` form block `b`).
@@ -53,6 +77,7 @@ pub(crate) struct WitnessTrace {
 }
 
 /// One checkpointed node of the merge tree.
+#[derive(Clone, Debug, PartialEq)]
 pub(crate) struct TraceNode {
     /// Sorted global ranks present in the node's position range.
     pub(crate) values: Vec<usize>,
@@ -63,6 +88,7 @@ pub(crate) struct TraceNode {
 }
 
 /// Provenance of a checkpointed node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub(crate) enum Provenance {
     /// A base block combed locally in step 2 of the pipeline.
     Base {
@@ -83,22 +109,194 @@ pub(crate) enum Provenance {
     },
 }
 
-/// A value-window witness query addressed to one node of a level:
-/// `(node index, vlo, vhi, t)`.
-type Query = (usize, usize, usize, usize);
-
-/// Runs the top-down traceback and returns the witness as input positions
-/// (ascending; ranks — hence original values — strictly increase along it).
-pub(crate) fn recover(cluster: &mut Cluster, trace: &WitnessTrace, length: usize) -> Vec<usize> {
-    if length == 0 {
-        return Vec::new();
+impl WitnessTrace {
+    /// Records the merge tree of `seq` sequentially, without a cluster: comb
+    /// each `block_size`-element base block, then merge adjacent nodes
+    /// pairwise level by level (odd leftovers pass through) exactly as the
+    /// MPC pipeline does. Because the `⊡` composition is exact and
+    /// associative, the resulting trace is **bit-identical** to the one
+    /// `lis_witness_mpc` records at the same block size (see
+    /// [`crate::lis::pipeline_block_size`] for the size the pipeline picks).
+    pub fn record<T: Ord>(seq: &[T], block_size: usize) -> Self {
+        let ranks = rank_sequence(seq);
+        let block_size = block_size.max(1);
+        let mut levels: Vec<Vec<TraceNode>> = Vec::new();
+        if !ranks.is_empty() {
+            levels.push(
+                ranks
+                    .chunks(block_size)
+                    .enumerate()
+                    .map(|(b, chunk)| base_node(b as u32, chunk))
+                    .collect(),
+            );
+            while levels.last().expect("level pushed").len() > 1 {
+                let prev = levels.last().expect("level pushed");
+                let mut next: Vec<TraceNode> = Vec::with_capacity(prev.len().div_ceil(2));
+                let mut i = 0;
+                while i + 1 < prev.len() {
+                    let (lo, hi) = (&prev[i], &prev[i + 1]);
+                    let prep =
+                        crate::lis::prepare_merge(&lo.values, &lo.kernel, &hi.values, &hi.kernel);
+                    next.push(TraceNode {
+                        kernel: compose_horizontal(&prep.lo_inflated, &prep.hi_inflated),
+                        values: prep.union,
+                        prov: Provenance::Merge { lo: i, hi: i + 1 },
+                    });
+                    i += 2;
+                }
+                if i < prev.len() {
+                    next.push(TraceNode {
+                        values: prev[i].values.clone(),
+                        kernel: prev[i].kernel.clone(),
+                        prov: Provenance::Pass { child: i },
+                    });
+                }
+                levels.push(next);
+            }
+        }
+        Self {
+            ranks,
+            block_size,
+            levels,
+        }
     }
+
+    /// Length of the traced sequence.
+    pub fn len(&self) -> usize {
+        self.ranks.len()
+    }
+
+    /// Whether the traced sequence is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ranks.is_empty()
+    }
+
+    /// Base block size the trace was recorded at.
+    pub fn block_size(&self) -> usize {
+        self.block_size
+    }
+
+    /// Number of merge levels above the base blocks.
+    pub fn merge_levels(&self) -> usize {
+        self.levels.len().saturating_sub(1)
+    }
+
+    /// Global rank of every input position (ties rank right-to-left, so
+    /// strictly increasing subsequences of the input correspond exactly to
+    /// increasing rank subsequences).
+    pub fn ranks(&self) -> &[u32] {
+        &self.ranks
+    }
+
+    /// The root kernel — the full semi-local LIS kernel of the traced
+    /// sequence (equal to [`seaweed_lis::lis::lis_kernel`]). `None` only for
+    /// the empty sequence.
+    pub fn kernel(&self) -> Option<&SeaweedKernel> {
+        self.levels
+            .last()
+            .and_then(|level| level.first())
+            .map(|node| &node.kernel)
+    }
+
+    /// Length of the longest increasing subsequence of the traced sequence
+    /// restricted to global ranks in `[vlo, vhi)`, read off the root kernel.
+    /// This is the `t` that a `recover_batch` query for the same window will
+    /// realize.
+    pub fn value_window_lis(&self, vlo: usize, vhi: usize) -> usize {
+        let Some(root) = self.levels.last().and_then(|level| level.first()) else {
+            return 0;
+        };
+        let a = root.values.partition_point(|&v| v < vlo);
+        let b = root.values.partition_point(|&v| v < vhi);
+        root.kernel.lcs_x_window(a, b)
+    }
+
+    /// Length of the longest increasing subsequence of the traced sequence.
+    pub fn lis_length(&self) -> usize {
+        self.value_window_lis(0, self.ranks.len())
+    }
+
+    /// Total resident items across every checkpointed node: each node holds
+    /// its sorted value set plus its kernel's permutation entries. This is the
+    /// footprint a cache's byte budget should charge for keeping the trace
+    /// hot.
+    pub fn checkpoint_footprint(&self) -> usize {
+        self.levels
+            .iter()
+            .flatten()
+            .map(|node| node.values.len() + node.kernel.checkpoint_entries())
+            .sum()
+    }
+}
+
+/// Combs one base block of global ranks into a checkpointed node, exactly as
+/// the pipeline's `comb_block_entries` does (compact alphabet + local comb).
+fn base_node(block: u32, chunk: &[u32]) -> TraceNode {
+    let mut values: Vec<usize> = chunk.iter().map(|&r| r as usize).collect();
+    values.sort_unstable();
+    let relabelled: Vec<u32> = chunk
+        .iter()
+        .map(|&r| values.partition_point(|&v| v < r as usize) as u32)
+        .collect();
+    TraceNode {
+        kernel: lis_kernel_permutation(&relabelled),
+        values,
+        prov: Provenance::Base { block },
+    }
+}
+
+/// A value-window witness query in flight, addressed to one node of a level:
+/// `(query id, node index, vlo, vhi, t)`.
+type Query = (usize, usize, usize, usize, usize);
+
+/// Runs the top-down traceback for a whole batch of value-window witness
+/// queries in **one** descent schedule.
+///
+/// Each window `(vlo, vhi)` asks for the positions of one longest increasing
+/// subsequence of the traced sequence restricted to global ranks in
+/// `[vlo, vhi)`; the target length is read off the root kernel
+/// ([`WitnessTrace::value_window_lis`]), so the `i`-th returned vector has
+/// exactly that length, its positions ascend and their ranks strictly
+/// increase. The full-sequence witness is the window `(0, trace.len())`.
+///
+/// Every level still costs one candidate-scan superstep plus one shuffle no
+/// matter how many queries ride the batch — the in-flight queries carry their
+/// ids down a shared schedule and the scanned checkpoint candidates are
+/// deduplicated across queries, so the routed footprint stays at most `n`
+/// items per level. Ledger phases land under `<scope>-L<k>` / `<scope>-base`
+/// labels (the pipeline uses `"lis-witness"`; the analytics service passes its
+/// own `service-*` scope so batched descents are attributable).
+pub fn recover_batch(
+    cluster: &mut Cluster,
+    trace: &WitnessTrace,
+    windows: &[(usize, usize)],
+    scope: &str,
+) -> Vec<Vec<usize>> {
     let n = trace.ranks.len();
+    let mut results: Vec<Vec<usize>> = vec![Vec::new(); windows.len()];
+    if trace.levels.is_empty() {
+        return results;
+    }
     let top = trace.levels.len() - 1;
-    let mut queries: Vec<Query> = vec![(0, 0, n, length)];
+    let mut expected = vec![0usize; windows.len()];
+    let mut queries: Vec<Query> = Vec::new();
+    for (qid, &(vlo, vhi)) in windows.iter().enumerate() {
+        assert!(
+            vlo <= vhi && vhi <= n,
+            "witness window [{vlo}, {vhi}) is invalid for a sequence of {n} ranks"
+        );
+        let t = trace.value_window_lis(vlo, vhi);
+        expected[qid] = t;
+        if t > 0 {
+            queries.push((qid, 0, vlo, vhi, t));
+        }
+    }
+    if queries.is_empty() {
+        return results;
+    }
 
     for level in (1..=top).rev() {
-        cluster.set_phase_scope(Some(format!("lis-witness-L{level}")));
+        cluster.set_phase_scope(Some(format!("{scope}-L{level}")));
         cluster.set_phase(Some("split"));
         let nodes = &trace.levels[level];
         let children = &trace.levels[level - 1];
@@ -106,22 +304,46 @@ pub(crate) fn recover(cluster: &mut Cluster, trace: &WitnessTrace, length: usize
         // The split scan touches one checkpointed kernel entry per union value
         // inside each active merge window; route that slice through a real
         // prefix-sum superstep so strict clusters observe the level's true
-        // footprint (the windows are disjoint, so this is ≤ n items).
-        let candidates: Vec<(u32, u32)> = queries
+        // footprint. Candidates are deduplicated across the batch — the
+        // checkpoints are resident, so one pass over a level's entries serves
+        // every query that needs them — keeping this ≤ n items per level no
+        // matter the batch size.
+        // Each query's candidates inside a node form one contiguous index
+        // interval, so the batch dedups by merging intervals per node and
+        // emitting every candidate once — O(q log q + union) local work
+        // instead of materializing (and sorting) one copy per query. The
+        // emitted order equals the sorted-deduped order: nodes ascend, and a
+        // node's values are its sorted, duplicate-free rank union.
+        let mut intervals: Vec<(u32, u32, u32)> = queries
             .iter()
-            .flat_map(|&(idx, vlo, vhi, _)| {
+            .filter_map(|&(_, idx, vlo, vhi, _)| {
                 let node = &nodes[idx];
-                let slice = match node.prov {
+                match node.prov {
                     Provenance::Merge { .. } => {
                         let a = node.values.partition_point(|&v| v < vlo);
                         let b = node.values.partition_point(|&v| v < vhi);
-                        &node.values[a..b]
+                        (a < b).then_some((idx as u32, a as u32, b as u32))
                     }
-                    _ => &[],
-                };
-                slice.iter().map(move |&v| (idx as u32, v as u32))
+                    _ => None,
+                }
             })
             .collect();
+        intervals.sort_unstable();
+        let mut candidates: Vec<(u32, u32)> = Vec::new();
+        let mut at = 0;
+        while at < intervals.len() {
+            let (idx, a, mut b) = intervals[at];
+            at += 1;
+            while at < intervals.len() && intervals[at].0 == idx && intervals[at].1 <= b {
+                b = b.max(intervals[at].2);
+                at += 1;
+            }
+            candidates.extend(
+                nodes[idx as usize].values[a as usize..b as usize]
+                    .iter()
+                    .map(|&v| (idx, v as u32)),
+            );
+        }
         let cdv = cluster.distribute(candidates);
         let scanned = cluster.prefix_sums(cdv, |_| 1);
         drop(cluster.collect(scanned));
@@ -139,13 +361,13 @@ pub(crate) fn recover(cluster: &mut Cluster, trace: &WitnessTrace, length: usize
                 &killed,
                 &format!("recovery-witness-L{level}"),
             );
-            cluster.set_phase_scope(Some(format!("lis-witness-L{level}")));
+            cluster.set_phase_scope(Some(format!("{scope}-L{level}")));
         }
 
         let mut next: Vec<Query> = Vec::with_capacity(2 * queries.len());
-        for (idx, vlo, vhi, t) in queries.drain(..) {
+        for (qid, idx, vlo, vhi, t) in queries.drain(..) {
             match nodes[idx].prov {
-                Provenance::Pass { child } => next.push((child, vlo, vhi, t)),
+                Provenance::Pass { child } => next.push((qid, child, vlo, vhi, t)),
                 Provenance::Merge { lo, hi } => {
                     let l = &children[lo];
                     let h = &children[hi];
@@ -157,10 +379,10 @@ pub(crate) fn recover(cluster: &mut Cluster, trace: &WitnessTrace, length: usize
                         t,
                     );
                     if t_lo > 0 {
-                        next.push((lo, vlo, w, t_lo));
+                        next.push((qid, lo, vlo, w, t_lo));
                     }
                     if t_hi > 0 {
-                        next.push((hi, w, vhi, t_hi));
+                        next.push((qid, hi, w, vhi, t_hi));
                     }
                 }
                 Provenance::Base { .. } => unreachable!("base node above level 0"),
@@ -171,7 +393,7 @@ pub(crate) fn recover(cluster: &mut Cluster, trace: &WitnessTrace, length: usize
 
     // Base level: join the surviving block queries against the resident input
     // elements and reconstruct each slice where its block lives.
-    cluster.set_phase_scope(Some("lis-witness-base"));
+    cluster.set_phase_scope(Some(format!("{scope}-base")));
     cluster.set_phase(Some("reconstruct"));
     let base = &trace.levels[0];
     let block_size = trace.block_size as u32;
@@ -183,13 +405,13 @@ pub(crate) fn recover(cluster: &mut Cluster, trace: &WitnessTrace, length: usize
             .map(|(i, &r)| (i as u32, r))
             .collect::<Vec<_>>(),
     );
-    let base_queries: Vec<(u32, u32, u32, u32)> = queries
+    let base_queries: Vec<(u32, u32, u32, u32, u32)> = queries
         .into_iter()
-        .map(|(idx, vlo, vhi, t)| {
+        .map(|(qid, idx, vlo, vhi, t)| {
             let Provenance::Base { block } = base[idx].prov else {
                 unreachable!("level-0 node without base provenance")
             };
-            (block, vlo as u32, vhi as u32, t as u32)
+            (block, qid as u32, vlo as u32, vhi as u32, t as u32)
         })
         .collect();
     let qdv = cluster.distribute(base_queries);
@@ -200,14 +422,14 @@ pub(crate) fn recover(cluster: &mut Cluster, trace: &WitnessTrace, length: usize
         |&(block, ..)| block,
         |_, elems, qs| {
             let mut out = Vec::new();
-            for (_, vlo, vhi, t) in qs {
+            for (_, qid, vlo, vhi, t) in qs {
                 let slice = lis_witness_in_rank_range(&elems, vlo, vhi);
                 assert_eq!(
                     slice.len(),
                     t as usize,
                     "base block failed to realize its split length"
                 );
-                out.extend(slice);
+                out.extend(slice.into_iter().map(|(pos, rank)| (qid, pos, rank)));
             }
             out
         },
@@ -218,17 +440,171 @@ pub(crate) fn recover(cluster: &mut Cluster, trace: &WitnessTrace, length: usize
     let killed = cluster.poll_kills();
     if !killed.is_empty() {
         recovery::restore_for_witness(cluster, &trace.levels[0], &killed, "recovery-witness-base");
-        cluster.set_phase_scope(Some("lis-witness-base"));
+        cluster.set_phase_scope(Some(format!("{scope}-base")));
     }
 
-    // Final rebalanced sort puts the slices in position order; the split
-    // thresholds guarantee ranks increase along it.
+    // Final rebalanced sort puts every query's slices in position order; the
+    // split thresholds guarantee ranks increase along each query's result.
     cluster.set_phase(Some("concat"));
-    let sorted = cluster.sort_by_key(chosen, |&(pos, _)| pos);
+    let sorted = cluster.sort_by_key(chosen, |&(qid, pos, _)| (qid, pos));
     let flat = cluster.collect(sorted);
     cluster.set_phase_scope(None::<String>);
     cluster.set_phase(None::<String>);
 
-    debug_assert!(flat.windows(2).all(|w| w[0].1 < w[1].1));
-    flat.into_iter().map(|(pos, _)| pos as usize).collect()
+    debug_assert!(flat.windows(2).all(|w| w[0].0 != w[1].0 || w[0].2 < w[1].2));
+    for (qid, pos, _) in flat {
+        results[qid as usize].push(pos as usize);
+    }
+    for (qid, result) in results.iter().enumerate() {
+        assert_eq!(
+            result.len(),
+            expected[qid],
+            "query {qid} failed to realize its window LIS length"
+        );
+    }
+    results
+}
+
+/// Runs the top-down traceback for the single full-sequence query and returns
+/// the witness as input positions (ascending; ranks — hence original values —
+/// strictly increase along it). This is [`recover_batch`] with the one window
+/// `[0, n)` under the pipeline's `lis-witness` scope.
+pub(crate) fn recover(cluster: &mut Cluster, trace: &WitnessTrace, length: usize) -> Vec<usize> {
+    if length == 0 {
+        return Vec::new();
+    }
+    let n = trace.ranks.len();
+    let witness = recover_batch(cluster, trace, &[(0, n)], "lis-witness")
+        .pop()
+        .expect("one window in, one witness out");
+    debug_assert_eq!(witness.len(), length);
+    witness
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use monge_mpc::MulParams;
+    use mpc_runtime::MpcConfig;
+    use rand::prelude::*;
+    use seaweed_lis::baselines::lis_length_patience;
+
+    fn random_seq(rng: &mut StdRng, n: usize, alphabet: u32) -> Vec<u32> {
+        (0..n).map(|_| rng.gen_range(0..alphabet)).collect()
+    }
+
+    /// The patience length of the subsequence with ranks restricted to a
+    /// window — the brute-force answer `recover_batch` must realize.
+    fn window_lis_brute(ranks: &[u32], vlo: usize, vhi: usize) -> usize {
+        let filtered: Vec<u32> = ranks
+            .iter()
+            .copied()
+            .filter(|&r| (vlo..vhi).contains(&(r as usize)))
+            .collect();
+        lis_length_patience(&filtered)
+    }
+
+    #[test]
+    fn record_matches_pipeline_trace_bit_for_bit() {
+        let mut rng = StdRng::seed_from_u64(31);
+        for &(n, delta) in &[(37usize, 0.5), (130, 0.75), (400, 0.75), (513, 0.6)] {
+            let seq = random_seq(&mut rng, n, 60);
+            let params = MulParams::default();
+            let mut cluster = Cluster::new(MpcConfig::new(n, delta));
+            let (_, trace) = crate::lis::pipeline(&mut cluster, &seq, &params, true);
+            let pipeline_trace = trace.expect("record requested");
+            let recorded = WitnessTrace::record(&seq, pipeline_trace.block_size());
+            assert_eq!(recorded, pipeline_trace, "n={n} δ={delta}");
+        }
+    }
+
+    #[test]
+    fn record_exposes_root_kernel_and_lengths() {
+        let mut rng = StdRng::seed_from_u64(32);
+        let seq = random_seq(&mut rng, 300, 40);
+        let trace = WitnessTrace::record(&seq, 32);
+        assert_eq!(trace.len(), 300);
+        assert_eq!(trace.block_size(), 32);
+        assert!(trace.merge_levels() >= 3);
+        assert_eq!(trace.kernel(), Some(&seaweed_lis::lis::lis_kernel(&seq)));
+        assert_eq!(trace.lis_length(), lis_length_patience(&seq));
+        assert!(trace.checkpoint_footprint() > 0);
+
+        let empty = WitnessTrace::record::<u32>(&[], 16);
+        assert!(empty.is_empty());
+        assert_eq!(empty.kernel(), None);
+        assert_eq!(empty.lis_length(), 0);
+        assert_eq!(empty.checkpoint_footprint(), 0);
+    }
+
+    #[test]
+    fn batched_windows_realize_their_window_lis() {
+        let mut rng = StdRng::seed_from_u64(33);
+        for &n in &[1usize, 60, 257, 500] {
+            let seq = random_seq(&mut rng, n, 50);
+            let trace = WitnessTrace::record(&seq, 24);
+            let mut windows = vec![(0, n)];
+            for _ in 0..6 {
+                let a = rng.gen_range(0..=n);
+                let b = rng.gen_range(0..=n);
+                windows.push((a.min(b), a.max(b)));
+            }
+            let mut cluster = Cluster::new(MpcConfig::lenient(n.max(4), 0.6));
+            let results = recover_batch(&mut cluster, &trace, &windows, "test-witness");
+            assert_eq!(results.len(), windows.len());
+            for (&(vlo, vhi), positions) in windows.iter().zip(&results) {
+                assert_eq!(
+                    positions.len(),
+                    window_lis_brute(trace.ranks(), vlo, vhi),
+                    "window [{vlo}, {vhi}) at n={n}"
+                );
+                assert!(positions.windows(2).all(|w| w[0] < w[1]));
+                let ranks: Vec<u32> = positions.iter().map(|&p| trace.ranks()[p]).collect();
+                assert!(ranks.windows(2).all(|w| w[0] < w[1]));
+                assert!(ranks.iter().all(|&r| (vlo..vhi).contains(&(r as usize))));
+            }
+        }
+    }
+
+    #[test]
+    fn batch_descends_in_the_rounds_of_one_query() {
+        // The amortization claim: q queries ride one schedule, so the round
+        // count of a batched descent equals the single-query descent's.
+        let mut rng = StdRng::seed_from_u64(34);
+        let n = 512;
+        let seq = random_seq(&mut rng, n, 80);
+        let trace = WitnessTrace::record(&seq, 32);
+
+        let mut solo = Cluster::new(MpcConfig::lenient(n, 0.7));
+        let _ = recover_batch(&mut solo, &trace, &[(0, n)], "test-witness");
+
+        let windows: Vec<(usize, usize)> = (0..8).map(|i| (i * 16, n - i * 16)).collect();
+        let mut batched = Cluster::new(MpcConfig::lenient(n, 0.7));
+        let _ = recover_batch(&mut batched, &trace, &windows, "test-witness");
+
+        assert_eq!(
+            batched.rounds(),
+            solo.rounds(),
+            "a batch must not pay extra descent rounds"
+        );
+    }
+
+    #[test]
+    fn empty_and_degenerate_windows_return_empty_witnesses() {
+        let seq: Vec<u32> = vec![5, 5, 5, 5];
+        let trace = WitnessTrace::record(&seq, 2);
+        let mut cluster = Cluster::new(MpcConfig::lenient(4, 0.5));
+        let results = recover_batch(&mut cluster, &trace, &[(2, 2), (0, 4)], "test-witness");
+        assert_eq!(results[0], Vec::<usize>::new());
+        assert_eq!(results[1].len(), 1, "all-equal sequence has LIS 1");
+
+        let mut idle = Cluster::new(MpcConfig::lenient(4, 0.5));
+        let results = recover_batch(&mut idle, &trace, &[(2, 2)], "test-witness");
+        assert_eq!(results, vec![Vec::<usize>::new()]);
+        assert_eq!(idle.rounds(), 0, "zero-t windows alone charge nothing");
+
+        let empty = WitnessTrace::record::<u32>(&[], 4);
+        let results = recover_batch(&mut idle, &empty, &[(0, 0)], "test-witness");
+        assert_eq!(results, vec![Vec::<usize>::new()]);
+    }
 }

@@ -1,0 +1,226 @@
+//! Cross-connection request coalescing: concurrent witness queries against
+//! the same hot kernel ride **one** traceback descent.
+//!
+//! The first thread to ask for a kernel's witness becomes the *leader* of a
+//! gathering batch; it waits one small gather window, closes the batch, runs a
+//! single [`lis_mpc::recover_batch`] over every collected window, and
+//! publishes the per-query results. Threads that arrive while the batch is
+//! gathering become *followers*: they just park until the leader posts their
+//! slot. Threads that arrive after the batch closed start the next one. The
+//! descent schedule is what amortizes: `q` coalesced queries cost one
+//! candidate-scan superstep and one shuffle per level instead of `q` descents
+//! (see `lis_mpc::witness`).
+
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// Per-query result: the witness positions, or the batch's error.
+type BatchResult = Result<Vec<Vec<usize>>, String>;
+
+struct SlotState {
+    /// Windows gathered so far; a thread's index here is its result slot.
+    windows: Vec<(usize, usize)>,
+    /// Set by the leader when it takes the batch: latecomers must not join.
+    closed: bool,
+    /// Posted by the leader once the descent ran.
+    result: Option<BatchResult>,
+}
+
+struct Slot {
+    state: Mutex<SlotState>,
+    ready: Condvar,
+}
+
+/// What one coalesced query observed — the result plus how many queries
+/// actually shared its descent (surfaced in responses so callers can verify
+/// batching happened).
+#[derive(Clone, Debug)]
+pub struct Coalesced {
+    /// The witness positions for this thread's window.
+    pub positions: Vec<usize>,
+    /// Number of queries that rode the same descent (≥ 1).
+    pub batch_size: usize,
+}
+
+/// The per-kernel batch coalescer (see module docs).
+pub struct Coalescer {
+    window: Duration,
+    gathering: Mutex<HashMap<u64, Arc<Slot>>>,
+}
+
+impl Coalescer {
+    /// A coalescer gathering each batch for `window` before it descends.
+    pub fn new(window: Duration) -> Self {
+        Self {
+            window,
+            gathering: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Submits one rank-window witness query against kernel `key`, coalescing
+    /// it with concurrent queries for the same kernel. `descend` is invoked
+    /// by exactly one thread per batch, with every gathered window; its
+    /// result vector must be index-aligned with the input.
+    pub fn submit<F>(
+        &self,
+        key: u64,
+        window: (usize, usize),
+        descend: F,
+    ) -> Result<Coalesced, String>
+    where
+        F: FnOnce(&[(usize, usize)]) -> BatchResult,
+    {
+        // Join (or open) the gathering batch for this kernel. A closed slot
+        // still briefly in the map means its leader is between "take" and
+        // "remove" — retry until a fresh one opens.
+        let (slot, my_index) = loop {
+            let slot = {
+                let mut gathering = self.gathering.lock().expect("coalescer poisoned");
+                Arc::clone(gathering.entry(key).or_insert_with(|| {
+                    Arc::new(Slot {
+                        state: Mutex::new(SlotState {
+                            windows: Vec::new(),
+                            closed: false,
+                            result: None,
+                        }),
+                        ready: Condvar::new(),
+                    })
+                }))
+            };
+            let mut state = slot.state.lock().expect("slot poisoned");
+            if state.closed {
+                drop(state);
+                std::thread::yield_now();
+                continue;
+            }
+            state.windows.push(window);
+            let index = state.windows.len() - 1;
+            drop(state);
+            break (slot, index);
+        };
+
+        if my_index == 0 {
+            // Leader: give followers the gather window, then close and run.
+            std::thread::sleep(self.window);
+            let windows = {
+                let mut gathering = self.gathering.lock().expect("coalescer poisoned");
+                let mut state = slot.state.lock().expect("slot poisoned");
+                state.closed = true;
+                gathering.remove(&key);
+                state.windows.clone()
+            };
+            let result = descend(&windows);
+            let mut state = slot.state.lock().expect("slot poisoned");
+            state.result = Some(result);
+            slot.ready.notify_all();
+            drop(state);
+        }
+
+        // Everyone (leader included) reads their slot from the posted result.
+        let mut state = slot.state.lock().expect("slot poisoned");
+        while state.result.is_none() {
+            state = slot.ready.wait(state).expect("slot poisoned");
+        }
+        let batch_size = state.windows.len();
+        match state.result.as_ref().expect("checked above") {
+            Ok(all) => Ok(Coalesced {
+                positions: all
+                    .get(my_index)
+                    .cloned()
+                    .ok_or("batch result misaligned")?,
+                batch_size,
+            }),
+            Err(e) => Err(e.clone()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn solo_query_descends_alone() {
+        let coalescer = Coalescer::new(Duration::from_millis(1));
+        let out = coalescer
+            .submit(7, (2, 9), |windows| {
+                assert_eq!(windows, &[(2, 9)]);
+                Ok(windows.iter().map(|&(a, b)| vec![a, b]).collect())
+            })
+            .unwrap();
+        assert_eq!(out.positions, vec![2, 9]);
+        assert_eq!(out.batch_size, 1);
+    }
+
+    #[test]
+    fn concurrent_queries_share_one_descent() {
+        let coalescer = Arc::new(Coalescer::new(Duration::from_millis(60)));
+        let descents = Arc::new(AtomicUsize::new(0));
+        let threads: Vec<_> = (0..6)
+            .map(|i| {
+                let coalescer = Arc::clone(&coalescer);
+                let descents = Arc::clone(&descents);
+                std::thread::spawn(move || {
+                    coalescer
+                        .submit(1, (i, i + 10), |windows| {
+                            descents.fetch_add(1, Ordering::SeqCst);
+                            Ok(windows.iter().map(|&(a, b)| vec![a, b]).collect())
+                        })
+                        .unwrap()
+                })
+            })
+            .collect();
+        let results: Vec<Coalesced> = threads.into_iter().map(|t| t.join().unwrap()).collect();
+        // Each query got its own window back, correctly aligned…
+        for (i, out) in results.iter().enumerate() {
+            assert_eq!(out.positions, vec![i, i + 10]);
+        }
+        // …and the 60 ms gather window coalesced them into very few descents
+        // (exactly one when all six arrive in time; never six).
+        let ran = descents.load(Ordering::SeqCst);
+        assert!(
+            ran < 6,
+            "no coalescing happened: {ran} descents for 6 queries"
+        );
+        assert!(results.iter().any(|r| r.batch_size >= 2));
+    }
+
+    #[test]
+    fn different_kernels_do_not_coalesce() {
+        let coalescer = Arc::new(Coalescer::new(Duration::from_millis(30)));
+        let threads: Vec<_> = (0..2u64)
+            .map(|key| {
+                let coalescer = Arc::clone(&coalescer);
+                std::thread::spawn(move || {
+                    coalescer
+                        .submit(key, (0, 1), |windows| {
+                            Ok(vec![vec![windows.len()]; windows.len()])
+                        })
+                        .unwrap()
+                })
+            })
+            .collect();
+        for t in threads {
+            let out = t.join().unwrap();
+            assert_eq!(out.batch_size, 1, "distinct kernels must not share a batch");
+        }
+    }
+
+    #[test]
+    fn errors_propagate_to_every_member() {
+        let coalescer = Arc::new(Coalescer::new(Duration::from_millis(40)));
+        let threads: Vec<_> = (0..3)
+            .map(|_| {
+                let coalescer = Arc::clone(&coalescer);
+                std::thread::spawn(move || {
+                    coalescer.submit(9, (0, 1), |_| Err("descent failed".to_string()))
+                })
+            })
+            .collect();
+        for t in threads {
+            assert_eq!(t.join().unwrap().unwrap_err(), "descent failed");
+        }
+    }
+}

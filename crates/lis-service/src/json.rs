@@ -1,0 +1,353 @@
+//! A minimal line-JSON value: hand-rolled parser and serializer, enough for
+//! the service protocol (objects, arrays, strings, integers, booleans, null).
+//!
+//! The build environment has no crates registry, so this is deliberately a
+//! dependency-free subset: numbers are 64-bit signed integers (the protocol
+//! carries sequence values, indices and counters — never floats), strings
+//! support the standard escapes plus BMP `\uXXXX`, and nesting depth is
+//! capped so a hostile line cannot overflow the parser's stack.
+
+use std::fmt;
+
+/// Maximum nesting depth a parsed document may have.
+const MAX_DEPTH: usize = 64;
+
+/// A parsed JSON value (integer-only numbers; see module docs).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An integer (the protocol never uses fractions or exponents).
+    Int(i64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object; insertion order is preserved and lookups are linear (the
+    /// protocol's objects have a handful of keys).
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up a key of an object; `None` for missing keys or non-objects.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The integer value, if this is an `Int`.
+    pub fn as_int(&self) -> Option<i64> {
+        match *self {
+            Value::Int(i) => Some(i),
+            _ => None,
+        }
+    }
+
+    /// The string value, if this is a `Str`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an `Arr`.
+    pub fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The boolean value, if this is a `Bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Value::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// Builds an object from key/value pairs.
+    pub fn obj(pairs: Vec<(&str, Value)>) -> Value {
+        Value::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// Builds an array of integers from any iterator of `usize`.
+    pub fn int_arr(items: impl IntoIterator<Item = usize>) -> Value {
+        Value::Arr(items.into_iter().map(|i| Value::Int(i as i64)).collect())
+    }
+
+    /// Parses one JSON document, requiring it to span the whole input
+    /// (trailing whitespace allowed).
+    pub fn parse(input: &str) -> Result<Value, String> {
+        let bytes = input.as_bytes();
+        let mut at = 0;
+        let value = parse_value(bytes, &mut at, 0)?;
+        skip_ws(bytes, &mut at);
+        if at != bytes.len() {
+            return Err(format!("trailing garbage at byte {at}"));
+        }
+        Ok(value)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str("null"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Str(s) => write_escaped(f, s),
+            Value::Arr(items) => {
+                f.write_str("[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                f.write_str("]")
+            }
+            Value::Obj(pairs) => {
+                f.write_str("{")?;
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write_escaped(f, k)?;
+                    write!(f, ":{v}")?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
+fn write_escaped(f: &mut fmt::Formatter<'_>, s: &str) -> fmt::Result {
+    f.write_str("\"")?;
+    for c in s.chars() {
+        match c {
+            '"' => f.write_str("\\\"")?,
+            '\\' => f.write_str("\\\\")?,
+            '\n' => f.write_str("\\n")?,
+            '\r' => f.write_str("\\r")?,
+            '\t' => f.write_str("\\t")?,
+            c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+            c => write!(f, "{c}")?,
+        }
+    }
+    f.write_str("\"")
+}
+
+fn skip_ws(bytes: &[u8], at: &mut usize) {
+    while *at < bytes.len() && matches!(bytes[*at], b' ' | b'\t' | b'\n' | b'\r') {
+        *at += 1;
+    }
+}
+
+fn expect(bytes: &[u8], at: &mut usize, lit: &str) -> Result<(), String> {
+    if bytes[*at..].starts_with(lit.as_bytes()) {
+        *at += lit.len();
+        Ok(())
+    } else {
+        Err(format!("expected `{lit}` at byte {at}"))
+    }
+}
+
+fn parse_value(bytes: &[u8], at: &mut usize, depth: usize) -> Result<Value, String> {
+    if depth > MAX_DEPTH {
+        return Err("nesting too deep".to_string());
+    }
+    skip_ws(bytes, at);
+    match bytes.get(*at) {
+        None => Err("unexpected end of input".to_string()),
+        Some(b'n') => expect(bytes, at, "null").map(|()| Value::Null),
+        Some(b't') => expect(bytes, at, "true").map(|()| Value::Bool(true)),
+        Some(b'f') => expect(bytes, at, "false").map(|()| Value::Bool(false)),
+        Some(b'"') => parse_string(bytes, at).map(Value::Str),
+        Some(b'[') => {
+            *at += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, at);
+            if bytes.get(*at) == Some(&b']') {
+                *at += 1;
+                return Ok(Value::Arr(items));
+            }
+            loop {
+                items.push(parse_value(bytes, at, depth + 1)?);
+                skip_ws(bytes, at);
+                match bytes.get(*at) {
+                    Some(b',') => *at += 1,
+                    Some(b']') => {
+                        *at += 1;
+                        return Ok(Value::Arr(items));
+                    }
+                    _ => return Err(format!("expected `,` or `]` at byte {at}")),
+                }
+            }
+        }
+        Some(b'{') => {
+            *at += 1;
+            let mut pairs = Vec::new();
+            skip_ws(bytes, at);
+            if bytes.get(*at) == Some(&b'}') {
+                *at += 1;
+                return Ok(Value::Obj(pairs));
+            }
+            loop {
+                skip_ws(bytes, at);
+                let key = parse_string(bytes, at)?;
+                skip_ws(bytes, at);
+                expect(bytes, at, ":")?;
+                let value = parse_value(bytes, at, depth + 1)?;
+                pairs.push((key, value));
+                skip_ws(bytes, at);
+                match bytes.get(*at) {
+                    Some(b',') => *at += 1,
+                    Some(b'}') => {
+                        *at += 1;
+                        return Ok(Value::Obj(pairs));
+                    }
+                    _ => return Err(format!("expected `,` or `}}` at byte {at}")),
+                }
+            }
+        }
+        Some(c) if c.is_ascii_digit() || *c == b'-' => parse_int(bytes, at),
+        Some(c) => Err(format!("unexpected byte {c:#04x} at {at}")),
+    }
+}
+
+fn parse_int(bytes: &[u8], at: &mut usize) -> Result<Value, String> {
+    let start = *at;
+    if bytes.get(*at) == Some(&b'-') {
+        *at += 1;
+    }
+    while *at < bytes.len() && bytes[*at].is_ascii_digit() {
+        *at += 1;
+    }
+    if matches!(bytes.get(*at), Some(b'.' | b'e' | b'E')) {
+        return Err(format!(
+            "non-integer numbers are not part of the protocol (byte {at})"
+        ));
+    }
+    let text = std::str::from_utf8(&bytes[start..*at]).expect("digits are ASCII");
+    text.parse::<i64>()
+        .map(Value::Int)
+        .map_err(|e| format!("bad integer `{text}`: {e}"))
+}
+
+fn parse_string(bytes: &[u8], at: &mut usize) -> Result<String, String> {
+    if bytes.get(*at) != Some(&b'"') {
+        return Err(format!("expected string at byte {at}"));
+    }
+    *at += 1;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*at) {
+            None => return Err("unterminated string".to_string()),
+            Some(b'"') => {
+                *at += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *at += 1;
+                match bytes.get(*at) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        let hex = bytes.get(*at + 1..*at + 5).ok_or("truncated \\u escape")?;
+                        let code = u32::from_str_radix(
+                            std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?,
+                            16,
+                        )
+                        .map_err(|_| "bad \\u escape")?;
+                        out.push(char::from_u32(code).ok_or("surrogate \\u escape")?);
+                        *at += 4;
+                    }
+                    _ => return Err(format!("bad escape at byte {at}")),
+                }
+                *at += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar (the input is a &str, so boundaries
+                // are valid).
+                let rest = std::str::from_utf8(&bytes[*at..]).map_err(|e| e.to_string())?;
+                let c = rest.chars().next().expect("non-empty");
+                if (c as u32) < 0x20 {
+                    return Err(format!("raw control byte in string at {at}"));
+                }
+                out.push(c);
+                *at += c.len_utf8();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_protocol_shapes() {
+        for text in [
+            r#"{"op":"ingest","seq":[3,1,2]}"#,
+            r#"{"ok":true,"id":"ab12","n":3,"lis":2}"#,
+            r#"{"a":[],"b":{},"c":null,"d":-7,"e":"x\"\\\n"}"#,
+            "[1,[2,[3,[4]]]]",
+        ] {
+            let v = Value::parse(text).expect(text);
+            let printed = v.to_string();
+            assert_eq!(Value::parse(&printed).unwrap(), v, "{text}");
+        }
+    }
+
+    #[test]
+    fn accessors_navigate_objects() {
+        let v = Value::parse(r#"{"op":"window","l":2,"r":9,"deep":{"x":[1,2]}}"#).unwrap();
+        assert_eq!(v.get("op").and_then(Value::as_str), Some("window"));
+        assert_eq!(v.get("l").and_then(Value::as_int), Some(2));
+        assert_eq!(
+            v.get("deep")
+                .and_then(|d| d.get("x"))
+                .and_then(Value::as_arr),
+            Some(&[Value::Int(1), Value::Int(2)][..])
+        );
+        assert_eq!(v.get("missing"), None);
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            r#"{"a":}"#,
+            "1.5",
+            "1e9",
+            "tru",
+            r#""unterminated"#,
+            "[1] []",
+            &format!("{}1{}", "[".repeat(80), "]".repeat(80)),
+        ] {
+            assert!(Value::parse(bad).is_err(), "accepted: {bad}");
+        }
+    }
+
+    #[test]
+    fn escapes_survive_round_trip() {
+        let v = Value::Str("line\nwith \"quotes\" and \\ tab\t\u{1}".to_string());
+        let printed = v.to_string();
+        assert_eq!(Value::parse(&printed).unwrap(), v);
+        assert_eq!(Value::parse(r#""A""#).unwrap(), Value::Str("A".into()));
+    }
+}

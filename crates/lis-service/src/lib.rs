@@ -1,0 +1,57 @@
+//! Semi-local analytics service: serve window-LIS and LCS-witness queries
+//! off hot kernels, at scale.
+//!
+//! Building a seaweed kernel costs `O(n log² n)` work; answering a window
+//! query off a built kernel costs `O(log² n)`, and recovering a witness costs
+//! one `O(log n)`-round descent. A service that rebuilds per query throws the
+//! asymmetry away. This crate keeps the expensive artifacts **hot** and makes
+//! the three costs that dominate a serving workload cheap:
+//!
+//! * **Hot-kernel cache** ([`cache`]) — built kernels, their query
+//!   structures and recorded merge trees stay resident, keyed by a memoized
+//!   content hash (sequences are hashed once at ingest; identical
+//!   resubmissions dedupe to a cache hit). Eviction is LRU under a byte
+//!   budget derived from the checkpoint footprint, and every response carries
+//!   hit/miss/eviction counters.
+//! * **Query batching** ([`batch`]) — concurrent witness queries against the
+//!   same kernel coalesce into **one** traceback descent; `q` batched queries
+//!   cost the superstep schedule of one ([`lis_mpc::recover_batch`]).
+//! * **Incremental append** ([`lis_mpc::AppendableLisKernel`]) — extending a
+//!   hot sequence recombs only the `O(log n)` merge-tree spine instead of
+//!   rebuilding, bit-identical to a full rebuild, with the cluster ledger
+//!   proving the spine-only cost under the `service-append` scope.
+//!
+//! The transport ([`server`]) is deliberately plain: line-JSON over TCP, one
+//! thread per connection, no external dependencies (the JSON subset lives in
+//! [`json`]). See [`protocol`] for the request vocabulary.
+//!
+//! ```
+//! use lis_service::{Client, Server, ServiceConfig};
+//!
+//! let server = Server::start(ServiceConfig::default()).unwrap();
+//! let mut client = Client::connect(server.addr()).unwrap();
+//! let built = client.request(r#"{"op":"ingest","seq":[3,1,4,1,5,9,2,6]}"#).unwrap();
+//! let id = built.get("id").and_then(|v| v.as_str()).unwrap().to_string();
+//! let windows = client
+//!     .request(&format!(r#"{{"op":"window","id":"{id}","l":0,"r":8}}"#))
+//!     .unwrap();
+//! assert_eq!(windows.get("lis").and_then(|v| v.as_arr()).unwrap()[0].as_int(), Some(4));
+//! client.request(r#"{"op":"shutdown"}"#).unwrap();
+//! server.join();
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod batch;
+pub mod cache;
+pub mod json;
+pub mod protocol;
+pub mod server;
+pub mod service;
+
+pub use batch::{Coalesced, Coalescer};
+pub use cache::{content_hash, extend_hash, CacheCounters, CacheEntry, KernelCache};
+pub use json::Value;
+pub use protocol::{error_response, Request};
+pub use server::{Client, Server};
+pub use service::{Service, ServiceConfig};

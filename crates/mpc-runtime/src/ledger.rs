@@ -160,6 +160,38 @@ impl Ledger {
             .count()
     }
 
+    /// Total rounds charged under every phase label starting with `prefix`
+    /// (e.g. `"service-append"` to cover `service-append-L3/relabel` and
+    /// friends). This is how a driver proves a scoped sub-computation's cost:
+    /// the analytics service asserts its incremental appends charge only the
+    /// O(log n) spine merges by reading the `service-*` scopes back.
+    pub fn scope_rounds(&self, prefix: &str) -> u64 {
+        self.rounds_by_phase
+            .iter()
+            .filter(|(k, _)| k.starts_with(prefix))
+            .map(|(_, &v)| v)
+            .sum()
+    }
+
+    /// Total items communicated under every phase label starting with `prefix`.
+    pub fn scope_comm(&self, prefix: &str) -> u64 {
+        self.comm_by_phase
+            .iter()
+            .filter(|(k, _)| k.starts_with(prefix))
+            .map(|(_, &v)| v)
+            .sum()
+    }
+
+    /// Space-violating supersteps recorded under every phase label starting
+    /// with `prefix`.
+    pub fn scope_violations(&self, prefix: &str) -> u64 {
+        self.violations_by_phase
+            .iter()
+            .filter(|(k, _)| k.starts_with(prefix))
+            .map(|(_, &v)| v)
+            .sum()
+    }
+
     /// Superstep span covering every phase label starting with `prefix`
     /// (e.g. `"lis-merge-L2/"`), if any such label ran.
     pub fn superstep_span_of(&self, prefix: &str) -> Option<(u64, u64)> {
@@ -228,6 +260,28 @@ mod tests {
         assert_eq!(ledger.worst_overload, 50);
         assert_eq!(ledger.max_load_by_phase["route"], 50);
         assert_eq!(ledger.violations_by_phase["route"], 1);
+    }
+
+    #[test]
+    fn scope_aggregators_sum_matching_prefixes() {
+        let mut ledger = Ledger::default();
+        ledger.apply(
+            Superstep::new("sort", 3, 100),
+            Some("service-append-L1/relabel"),
+        );
+        ledger.apply(
+            Superstep::new("mul", 5, 40),
+            Some("service-append-L2/combine"),
+        );
+        ledger.apply(Superstep::new("sort", 7, 9), Some("service-root/fold"));
+        let _ = ledger.observe_loads([99].into_iter(), 10, Some("service-append-L2/combine"));
+        assert_eq!(ledger.scope_rounds("service-append"), 8);
+        assert_eq!(ledger.scope_rounds("service-"), 15);
+        assert_eq!(ledger.scope_rounds("lis-merge"), 0);
+        assert_eq!(ledger.scope_comm("service-append"), 140);
+        assert_eq!(ledger.scope_comm("service-root"), 9);
+        assert_eq!(ledger.scope_violations("service-append"), 1);
+        assert_eq!(ledger.scope_violations("service-root"), 0);
     }
 
     #[test]

@@ -415,6 +415,58 @@ pub fn lis_witness<T: Ord>(seq: &[T]) -> Vec<usize> {
     TracedLisKernel::new(seq).witness()
 }
 
+/// Why a window-LIS query was rejected (see [`SemiLocalLis::try_lis_window`]).
+///
+/// Service-facing entry points must not panic on malformed client input; this
+/// is the structured form of every validation [`SemiLocalLis::lis_window`]
+/// enforces, so callers that serve untrusted queries can turn a bad window into
+/// an error response instead of a crash.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WindowError {
+    /// `l > r`: the window is inverted.
+    Inverted {
+        /// Window start (inclusive).
+        l: usize,
+        /// Window end (exclusive).
+        r: usize,
+        /// Length of the indexed sequence.
+        len: usize,
+    },
+    /// `r > len`: the window runs past the end of the sequence.
+    OutOfRange {
+        /// Window start (inclusive).
+        l: usize,
+        /// Window end (exclusive).
+        r: usize,
+        /// Length of the indexed sequence.
+        len: usize,
+    },
+    /// The window end exceeds `u32::MAX`: the dominance counter underneath
+    /// indexes columns as `u32`, so larger bounds would silently truncate.
+    IndexOverflow {
+        /// The offending window end.
+        r: usize,
+    },
+}
+
+impl std::fmt::Display for WindowError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            WindowError::Inverted { l, r, len } | WindowError::OutOfRange { l, r, len } => {
+                write!(
+                    f,
+                    "LIS window [{l}, {r}) is invalid for a sequence of length {len}"
+                )
+            }
+            WindowError::IndexOverflow { r } => {
+                write!(f, "LIS window end {r} exceeds the u32 index range")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WindowError {}
+
 /// Semi-local LIS: answers `LIS(A[l..r))` for arbitrary windows after an
 /// `O(n log² n)` preprocessing (Corollary 1.3.2's sequential counterpart).
 #[derive(Clone, Debug)]
@@ -437,6 +489,24 @@ impl SemiLocalLis {
         }
     }
 
+    /// `LIS(A[l..r))` in `O(log² n)`, with window validation reported as a
+    /// [`WindowError`] instead of a panic — the entry point for service-facing
+    /// callers handling untrusted queries. `l == r` is a valid empty window
+    /// and answers `Ok(0)`.
+    pub fn try_lis_window(&self, l: usize, r: usize) -> Result<usize, WindowError> {
+        let len = self.len();
+        if l > r {
+            return Err(WindowError::Inverted { l, r, len });
+        }
+        if r > len {
+            return Err(WindowError::OutOfRange { l, r, len });
+        }
+        if r > u32::MAX as usize {
+            return Err(WindowError::IndexOverflow { r });
+        }
+        Ok(self.queries.lcs_window(l, r))
+    }
+
     /// `LIS(A[l..r))` in `O(log² n)`.
     ///
     /// # Panics
@@ -444,14 +514,13 @@ impl SemiLocalLis {
     /// Panics when the window is invalid (`l > r` or `r > len`): the dominance
     /// sum underneath would otherwise wrap into a meaningless count, so invalid
     /// windows are rejected loudly instead of clamped. `l == r` is a valid
-    /// empty window and answers `0`.
+    /// empty window and answers `0`. Validation is shared with the non-panicking
+    /// [`SemiLocalLis::try_lis_window`].
     pub fn lis_window(&self, l: usize, r: usize) -> usize {
-        assert!(
-            l <= r && r <= self.len(),
-            "LIS window [{l}, {r}) is invalid for a sequence of length {}",
-            self.len()
-        );
-        self.queries.lcs_window(l, r)
+        match self.try_lis_window(l, r) {
+            Ok(answer) => answer,
+            Err(e) => panic!("{e}"),
+        }
     }
 
     /// Length of the underlying sequence.
@@ -692,6 +761,33 @@ mod tests {
         let empty = SemiLocalLis::new::<u32>(&[]);
         assert!(empty.is_empty());
         assert_eq!(empty.lis_window(0, 0), 0);
+    }
+
+    #[test]
+    fn try_lis_window_reports_structured_errors() {
+        let index = SemiLocalLis::new(&[3u32, 1, 4, 1, 5]);
+        assert_eq!(index.try_lis_window(1, 4), Ok(2));
+        assert_eq!(index.try_lis_window(2, 2), Ok(0));
+        assert_eq!(
+            index.try_lis_window(4, 2),
+            Err(WindowError::Inverted { l: 4, r: 2, len: 5 })
+        );
+        assert_eq!(
+            index.try_lis_window(1, 6),
+            Err(WindowError::OutOfRange { l: 1, r: 6, len: 5 })
+        );
+        // The error message is exactly what the panicking path prints.
+        assert_eq!(
+            index.try_lis_window(4, 2).unwrap_err().to_string(),
+            "LIS window [4, 2) is invalid for a sequence of length 5"
+        );
+        assert_eq!(
+            WindowError::IndexOverflow { r: 1 << 33 }.to_string(),
+            format!(
+                "LIS window end {} exceeds the u32 index range",
+                1usize << 33
+            )
+        );
     }
 
     #[test]

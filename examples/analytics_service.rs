@@ -1,0 +1,134 @@
+//! The analytics service end-to-end: start a server, ingest a measurement
+//! series, and serve window-LIS and witness queries off the hot kernel — then
+//! extend the series with a fresh block of samples and watch the append touch
+//! only the merge-tree spine.
+//!
+//! The motivating workload: a dashboard asking trend questions ("how long is
+//! the longest increasing run in this window?", "*which* samples form it?")
+//! against a series that keeps growing. Building the seaweed kernel costs
+//! `O(n log² n)`; every question after that is cheap — as long as the kernel
+//! stays hot and appends don't trigger rebuilds.
+//!
+//! Run with: `cargo run --release --example analytics_service`
+
+use monge_mpc_suite::lis_service::{Client, Server, ServiceConfig, Value};
+use rand::prelude::*;
+use std::time::Instant;
+
+fn request(client: &mut Client, what: &str, line: &str) -> Value {
+    let start = Instant::now();
+    let response = client.request(line).expect("request");
+    let elapsed = start.elapsed();
+    assert_eq!(
+        response.get("ok").and_then(Value::as_bool),
+        Some(true),
+        "{what}: {response}"
+    );
+    println!("{what:<28} {elapsed:>10.2?}");
+    response
+}
+
+fn main() {
+    let n = 60_000;
+    let mut rng = StdRng::seed_from_u64(11);
+    let series: Vec<u32> = (0..n)
+        .map(|i| (i as f64 * 0.6) as u32 + rng.gen_range(0u32..8_000))
+        .collect();
+
+    let server = Server::start(ServiceConfig::default()).expect("bind loopback");
+    println!("analytics service listening on {}\n", server.addr());
+    let mut client = Client::connect(server.addr()).expect("connect");
+
+    // Ingest builds the kernel once; the id is the sequence's content hash.
+    let rendered: Vec<String> = series.iter().map(|v| v.to_string()).collect();
+    let built = request(
+        &mut client,
+        "ingest (cold build)",
+        &format!(r#"{{"op":"ingest","seq":[{}]}}"#, rendered.join(",")),
+    );
+    let id = built.get("id").and_then(Value::as_str).unwrap().to_string();
+    println!(
+        "  kernel {id}: n = {}, LIS = {}\n",
+        built.get("n").and_then(Value::as_int).unwrap(),
+        built.get("lis").and_then(Value::as_int).unwrap(),
+    );
+
+    // Re-submitting the identical series dedupes to a cache hit.
+    let again = request(
+        &mut client,
+        "ingest (dedupe hit)",
+        &format!(r#"{{"op":"ingest","seq":[{}]}}"#, rendered.join(",")),
+    );
+    assert_eq!(again.get("cached").and_then(Value::as_bool), Some(true));
+
+    // Window-LIS queries answer off the hot kernel in O(log² n) each.
+    let windows = request(
+        &mut client,
+        "window x3 (hot kernel)",
+        &format!(r#"{{"op":"window","id":"{id}","windows":[[0,{n}],[1000,21000],[40000,{n}]]}}"#),
+    );
+    println!("  window answers: {}\n", windows.get("lis").unwrap());
+
+    // A multi-range witness request: every range rides ONE traceback descent.
+    let witness = request(
+        &mut client,
+        "witness x3 (one descent)",
+        &format!(
+            r#"{{"op":"witness","id":"{id}","ranges":[[0,50000],[8000,30000],[20000,20500]]}}"#
+        ),
+    );
+    let batch = witness.get("batch").and_then(Value::as_int).unwrap();
+    for (i, w) in witness
+        .get("witnesses")
+        .and_then(Value::as_arr)
+        .unwrap()
+        .iter()
+        .enumerate()
+    {
+        let positions = w.get("positions").and_then(Value::as_arr).unwrap();
+        println!(
+            "  range {i}: {} positions realized (batch of {batch})",
+            positions.len()
+        );
+    }
+    println!();
+
+    // Append a fresh block: only the O(log n) merge-tree spine recombs, and
+    // the ledger proves it — `recombed items` is everything that moved.
+    let block: Vec<u32> = (0..4_000)
+        .map(|i| ((n + i) as f64 * 0.6) as u32 + rng.gen_range(0u32..8_000))
+        .collect();
+    let rendered: Vec<String> = block.iter().map(|v| v.to_string()).collect();
+    let appended = request(
+        &mut client,
+        "append 4000 (spine only)",
+        &format!(
+            r#"{{"op":"append","id":"{id}","block":[{}]}}"#,
+            rendered.join(",")
+        ),
+    );
+    let stats = appended.get("stats").unwrap();
+    println!(
+        "  new id {}: n = {}, spine len {}, {} spine merges, {} items recombed\n",
+        appended.get("id").and_then(Value::as_str).unwrap(),
+        appended.get("n").and_then(Value::as_int).unwrap(),
+        stats.get("spine_len").and_then(Value::as_int).unwrap(),
+        stats.get("spine_merges").and_then(Value::as_int).unwrap(),
+        stats.get("recombed_items").and_then(Value::as_int).unwrap(),
+    );
+
+    let stats = request(&mut client, "stats", r#"{"op":"stats"}"#);
+    let counters = stats.get("cache").unwrap();
+    println!(
+        "  cache: {} entries, {} bytes resident, {} hits / {} misses / {} evictions, {} violations",
+        stats.get("entries").and_then(Value::as_int).unwrap(),
+        stats.get("bytes").and_then(Value::as_int).unwrap(),
+        counters.get("hits").and_then(Value::as_int).unwrap(),
+        counters.get("misses").and_then(Value::as_int).unwrap(),
+        counters.get("evictions").and_then(Value::as_int).unwrap(),
+        stats.get("violations").and_then(Value::as_int).unwrap(),
+    );
+
+    request(&mut client, "shutdown", r#"{"op":"shutdown"}"#);
+    server.join();
+}

@@ -13,8 +13,13 @@
 //! * [`monge_mpc`] — the paper's O(1)-round MPC multiplication (Theorems 1.1/1.2).
 //! * [`lis_mpc`] — the O(log n)-round MPC LIS and LCS algorithms (Theorem 1.3,
 //!   Corollaries 1.3.1–1.3.3).
+//! * [`lis_service`] — the serving layer: a long-running analytics server that
+//!   keeps built kernels hot (LRU cache keyed by content hash), coalesces
+//!   concurrent witness queries into one traceback descent, and extends
+//!   sequences incrementally by recombing only the merge-tree spine.
 
 pub use lis_mpc;
+pub use lis_service;
 pub use monge;
 pub use monge_mpc;
 pub use mpc_runtime;

@@ -426,3 +426,75 @@ proptest! {
         prop_assert_eq!(faulty.ledger().space_violations, 0);
     }
 }
+
+// Incremental append (ISSUE 9): growing a kernel block-by-block must be
+// indistinguishable from building it from scratch — same kernel bits, same
+// window answers, same witnesses — for random cut schedules, comb block
+// sizes and δ. Each case folds the grown spine and a fresh build, so the
+// block budgets its cases like the chaos sweep above.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn incremental_append_is_indistinguishable_from_rebuild(
+        seq in sequence(400, 64),
+        cuts in prop::collection::vec(0usize..=400, 0..4),
+        block_exp in 3usize..=6,
+        delta_tenths in 2usize..6,
+    ) {
+        use monge_mpc_suite::lis_mpc::{recover_batch, AppendableLisKernel, WitnessTrace};
+        use monge_mpc_suite::seaweed_lis::lis::{lis_kernel, SemiLocalLis};
+
+        let n = seq.len();
+        let block_size = 1usize << block_exp;
+        let delta = delta_tenths as f64 / 10.0;
+        let config = MpcConfig::lenient(n.max(4), delta);
+
+        // Grow through an arbitrary cut schedule…
+        let mut grown_cluster = Cluster::new(config.clone());
+        let mut grown = AppendableLisKernel::new(block_size);
+        let mut cuts: Vec<usize> = cuts.into_iter().map(|c| c.min(n)).collect();
+        cuts.push(n);
+        cuts.sort_unstable();
+        let mut prev = 0;
+        for cut in cuts {
+            if cut > prev {
+                grown.append(&mut grown_cluster, &seq[prev..cut]);
+                prev = cut;
+            }
+        }
+
+        // …and compare against a one-shot build and the direct kernel.
+        let mut rebuild_cluster = Cluster::new(config);
+        let mut rebuilt = AppendableLisKernel::build(&mut rebuild_cluster, &seq, block_size);
+        prop_assert_eq!(
+            grown.kernel(&mut grown_cluster),
+            rebuilt.kernel(&mut rebuild_cluster)
+        );
+        prop_assert_eq!(grown.kernel(&mut grown_cluster), &lis_kernel(&seq));
+
+        // Window answers off the grown kernel match the direct structure.
+        let direct = SemiLocalLis::new(&seq);
+        let semi = SemiLocalLis::from_kernel(grown.kernel(&mut grown_cluster));
+        for (l, r) in [(0, n), (n / 3, 2 * n / 3), (n / 2, n / 2), (n.saturating_sub(7), n)] {
+            prop_assert_eq!(semi.try_lis_window(l, r), direct.try_lis_window(l, r));
+        }
+
+        // Witness descents over the grown cluster realize genuine increasing
+        // subsequences of exactly the semi-local lengths.
+        let trace = WitnessTrace::record(&seq, block_size);
+        let windows = [(0, n), (n / 4, 3 * n / 4)];
+        let witnesses = recover_batch(&mut grown_cluster, &trace, &windows, "prop-witness");
+        for (witness, &(vlo, vhi)) in witnesses.iter().zip(&windows) {
+            prop_assert_eq!(witness.len(), trace.value_window_lis(vlo, vhi));
+            for pair in witness.windows(2) {
+                prop_assert!(pair[0] < pair[1]);
+                prop_assert!(seq[pair[0]] < seq[pair[1]]);
+            }
+            for &p in witness {
+                prop_assert!((vlo..vhi).contains(&(trace.ranks()[p] as usize)));
+            }
+        }
+        prop_assert_eq!(grown_cluster.ledger().space_violations, 0);
+    }
+}

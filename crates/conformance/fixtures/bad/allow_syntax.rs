@@ -1,0 +1,8 @@
+// Seed for the allow grammar itself: a reason-less allow is a finding, so
+// suppressions can never silently rot into blanket waivers.
+
+pub fn fan_out(work: Vec<u64>) -> u64 {
+    // conformance: allow(raw-spawn)
+    let handle = std::thread::spawn(move || work.iter().sum());
+    handle.join().unwrap_or(0)
+}

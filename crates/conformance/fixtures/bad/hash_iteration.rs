@@ -1,0 +1,13 @@
+// conformance-fixture: kernel-crate
+// L2 seed: iterating a HashMap in a deterministic kernel crate — the visit
+// order varies run to run, so anything accumulated from it is nondeterministic.
+
+use std::collections::HashMap;
+
+pub fn label_sum(weights: &HashMap<u64, u64>) -> Vec<u64> {
+    let mut out = Vec::new();
+    for (k, w) in weights.iter() {
+        out.push(k ^ w);
+    }
+    out
+}

@@ -1,0 +1,11 @@
+// conformance-fixture: runtime-cluster
+// L3 seed: a public communicating primitive on the Cluster that never charges
+// the ledger — its supersteps would be invisible to the space/round proofs.
+
+pub struct Cluster;
+
+impl Cluster {
+    pub fn broadcast(&mut self, payload: &[u64]) -> Vec<u64> {
+        payload.to_vec()
+    }
+}

@@ -1,0 +1,7 @@
+// L5 seed: a raw thread::spawn outside the thread shims — parallelism that
+// bypasses the pool's deterministic chunking and budget discipline.
+
+pub fn fan_out(work: Vec<u64>) -> u64 {
+    let handle = std::thread::spawn(move || work.iter().sum());
+    handle.join().unwrap_or(0)
+}

@@ -1,0 +1,5 @@
+// L1 seed: an `unsafe` block with no justification comment near it.
+
+pub fn read_first(bytes: &[u8]) -> u8 {
+    unsafe { *bytes.as_ptr() }
+}

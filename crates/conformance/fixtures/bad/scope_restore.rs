@@ -1,0 +1,13 @@
+// L3 seed: a phase scope set but never restored — every later ledger entry
+// would silently inherit this function's label.
+
+pub struct Runtime;
+
+impl Runtime {
+    pub fn set_phase_scope(&mut self, _scope: Option<&'static str>) {}
+
+    pub fn distribute(&mut self) {
+        self.set_phase_scope(Some("distribute"));
+        // …work…
+    }
+}

@@ -1,0 +1,8 @@
+// conformance-fixture: service-crate
+// L4 seed: an unwrap on the request path — one malformed request would tear
+// down the whole connection instead of answering `{"ok":false}`.
+
+pub fn handle(line: &str) -> String {
+    let n: u64 = line.trim().parse().unwrap();
+    format!("{{\"ok\":true,\"n\":{n}}}")
+}

@@ -1,0 +1,8 @@
+// conformance-fixture: kernel-crate
+// L2 seed: wall-clock reads inside a kernel crate leak timing into results.
+
+use std::time::Instant;
+
+pub fn stamp() -> u128 {
+    Instant::now().elapsed().as_nanos()
+}

@@ -1,0 +1,15 @@
+// conformance-fixture: kernel-crate
+// L2 counterpart: hash iteration is fine when the statement sorts the result
+// (order-independent) or the container is a BTreeMap to begin with.
+
+use std::collections::{BTreeMap, HashMap};
+
+pub fn labels_sorted(weights: &HashMap<u64, u64>) -> Vec<u64> {
+    let mut out: Vec<u64> = weights.keys().copied().collect();
+    out.sort_unstable();
+    out
+}
+
+pub fn label_walk(ordered: &BTreeMap<u64, u64>) -> Vec<u64> {
+    ordered.iter().map(|(k, w)| k ^ w).collect()
+}

@@ -1,0 +1,19 @@
+// conformance-fixture: runtime-cluster
+// L3 counterpart: the primitive charges directly, and a sibling that only
+// delegates to a charging method is also accepted (fixpoint delegation).
+
+pub struct Superstep;
+pub struct Cluster;
+
+impl Cluster {
+    pub fn broadcast(&mut self, payload: &[u64]) -> Vec<u64> {
+        self.apply_step(payload.len());
+        payload.to_vec()
+    }
+
+    pub fn broadcast_all(&mut self, payload: &[u64]) -> Vec<u64> {
+        self.broadcast(payload)
+    }
+
+    fn apply_step(&mut self, _words: usize) {}
+}

@@ -1,0 +1,12 @@
+// L5 counterpart: a long-lived service thread with a justified allow naming
+// its shutdown story.
+
+pub fn watchdog(stop: std::sync::Arc<std::sync::atomic::AtomicBool>) {
+    // conformance: allow(raw-spawn) — single long-lived watchdog; exits when
+    // `stop` is set by the owner's Drop.
+    std::thread::spawn(move || {
+        while !stop.load(std::sync::atomic::Ordering::SeqCst) {
+            std::thread::yield_now();
+        }
+    });
+}

@@ -1,0 +1,8 @@
+// L1 counterpart: the same block, documented.
+
+pub fn read_first(bytes: &[u8]) -> u8 {
+    assert!(!bytes.is_empty());
+    // SAFETY: the assert above guarantees at least one byte, so the pointer
+    // read is in bounds.
+    unsafe { *bytes.as_ptr() }
+}

@@ -1,0 +1,13 @@
+// L3 counterpart: the scope is restored to None before returning.
+
+pub struct Runtime;
+
+impl Runtime {
+    pub fn set_phase_scope(&mut self, _scope: Option<&'static str>) {}
+
+    pub fn distribute(&mut self) {
+        self.set_phase_scope(Some("distribute"));
+        // …work…
+        self.set_phase_scope(None);
+    }
+}

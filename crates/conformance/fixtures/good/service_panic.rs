@@ -1,0 +1,9 @@
+// conformance-fixture: service-crate
+// L4 counterpart: the failure comes back as a structured error response.
+
+pub fn handle(line: &str) -> String {
+    match line.trim().parse::<u64>() {
+        Ok(n) => format!("{{\"ok\":true,\"n\":{n}}}"),
+        Err(e) => format!("{{\"ok\":false,\"error\":\"{e}\"}}"),
+    }
+}

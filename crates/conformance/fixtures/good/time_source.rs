@@ -1,0 +1,10 @@
+// conformance-fixture: kernel-crate
+// L2 counterpart: a justified allow names the lint and says why it is sound.
+
+use std::time::Instant;
+
+pub fn bench_probe() -> u128 {
+    // conformance: allow(time-source) — diagnostic-only timing, never feeds
+    // back into any computed value or ledger entry.
+    Instant::now().elapsed().as_nanos()
+}

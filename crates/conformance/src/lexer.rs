@@ -1,0 +1,354 @@
+//! A lightweight Rust lexer: just enough tokenization for lexical lint passes.
+//!
+//! The lexer's one job is to never confuse the *contexts* a pattern can occur
+//! in: code, comments, string/char literals, and lifetimes. Lint passes match
+//! on code tokens (`Ident`/`Punct`), so `"thread::spawn"` inside a string or a
+//! doc-comment example never fires a lint, while comments stay available for
+//! the `// SAFETY:` and `// conformance: allow(...)` vocabularies. Handles raw
+//! strings (`r#"…"#`), byte strings, nested block comments, raw identifiers
+//! and the `'a` lifetime vs `'a'` char-literal ambiguity.
+
+/// What a token is; the lint passes dispatch on this.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`fn`, `unsafe`, `HashMap`, …).
+    Ident,
+    /// A lifetime such as `'a` (not a char literal).
+    Lifetime,
+    /// Single punctuation character (`.`, `:`, `{`, …).
+    Punct,
+    /// String, raw-string, byte-string or char literal (contents opaque).
+    Literal,
+    /// Numeric literal.
+    Number,
+    /// `// …` comment (including `///` and `//!` doc comments).
+    LineComment,
+    /// `/* … */` comment, possibly nested.
+    BlockComment,
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Clone, Debug)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub text: String,
+    pub line: u32,
+}
+
+impl Tok {
+    /// True for tokens lint passes treat as code (not comments).
+    pub fn is_code(&self) -> bool {
+        !matches!(self.kind, TokKind::LineComment | TokKind::BlockComment)
+    }
+}
+
+/// Tokenizes `src`. Unterminated literals/comments are tolerated (the rest of
+/// the file becomes one token): the linter must never panic on weird input.
+pub fn lex(src: &str) -> Vec<Tok> {
+    let b = src.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+
+    let count_lines = |s: &str| s.bytes().filter(|&c| c == b'\n').count() as u32;
+
+    while i < b.len() {
+        let c = b[i];
+        let start_line = line;
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_ascii_whitespace() => {
+                i += 1;
+            }
+            b'/' if i + 1 < b.len() && b[i + 1] == b'/' => {
+                let end = src[i..].find('\n').map_or(b.len(), |p| i + p);
+                toks.push(Tok {
+                    kind: TokKind::LineComment,
+                    text: src[i..end].to_string(),
+                    line: start_line,
+                });
+                i = end;
+            }
+            b'/' if i + 1 < b.len() && b[i + 1] == b'*' => {
+                let mut depth = 1usize;
+                let mut j = i + 2;
+                while j < b.len() && depth > 0 {
+                    if b[j] == b'/' && j + 1 < b.len() && b[j + 1] == b'*' {
+                        depth += 1;
+                        j += 2;
+                    } else if b[j] == b'*' && j + 1 < b.len() && b[j + 1] == b'/' {
+                        depth -= 1;
+                        j += 2;
+                    } else {
+                        j += 1;
+                    }
+                }
+                let text = &src[i..j];
+                toks.push(Tok {
+                    kind: TokKind::BlockComment,
+                    text: text.to_string(),
+                    line: start_line,
+                });
+                line += count_lines(text);
+                i = j;
+            }
+            b'"' => {
+                let j = scan_string(b, i + 1);
+                let text = &src[i..j];
+                toks.push(Tok {
+                    kind: TokKind::Literal,
+                    text: text.to_string(),
+                    line: start_line,
+                });
+                line += count_lines(text);
+                i = j;
+            }
+            b'r' | b'b' if starts_raw_or_byte_string(b, i) => {
+                let j = scan_raw_or_byte_string(b, i);
+                let text = &src[i..j];
+                toks.push(Tok {
+                    kind: TokKind::Literal,
+                    text: text.to_string(),
+                    line: start_line,
+                });
+                line += count_lines(text);
+                i = j;
+            }
+            b'\'' => {
+                // Lifetime `'a` (identifier after the quote, no closing quote
+                // right behind it) vs char literal `'a'` / `'\n'`.
+                let after = i + 1;
+                let is_lifetime =
+                    after < b.len() && (b[after].is_ascii_alphabetic() || b[after] == b'_') && {
+                        let mut j = after;
+                        while j < b.len() && (b[j].is_ascii_alphanumeric() || b[j] == b'_') {
+                            j += 1;
+                        }
+                        j >= b.len() || b[j] != b'\''
+                    };
+                if is_lifetime {
+                    let mut j = after;
+                    while j < b.len() && (b[j].is_ascii_alphanumeric() || b[j] == b'_') {
+                        j += 1;
+                    }
+                    toks.push(Tok {
+                        kind: TokKind::Lifetime,
+                        text: src[i..j].to_string(),
+                        line: start_line,
+                    });
+                    i = j;
+                } else {
+                    let mut j = after;
+                    while j < b.len() && b[j] != b'\'' {
+                        if b[j] == b'\\' {
+                            j += 1; // skip the escaped byte
+                        }
+                        j += 1;
+                    }
+                    j = (j + 1).min(b.len());
+                    let text = &src[i..j];
+                    toks.push(Tok {
+                        kind: TokKind::Literal,
+                        text: text.to_string(),
+                        line: start_line,
+                    });
+                    line += count_lines(text);
+                    i = j;
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                let mut j = i;
+                while j < b.len() && (b[j].is_ascii_alphanumeric() || b[j] == b'_') {
+                    j += 1;
+                }
+                toks.push(Tok {
+                    kind: TokKind::Ident,
+                    text: src[i..j].to_string(),
+                    line: start_line,
+                });
+                i = j;
+            }
+            c if c.is_ascii_digit() => {
+                let mut j = i;
+                while j < b.len() && (b[j].is_ascii_alphanumeric() || b[j] == b'_' || b[j] == b'.')
+                {
+                    // Stop `1..n` from swallowing the range operator.
+                    if b[j] == b'.' && j + 1 < b.len() && b[j + 1] == b'.' {
+                        break;
+                    }
+                    j += 1;
+                }
+                toks.push(Tok {
+                    kind: TokKind::Number,
+                    text: src[i..j].to_string(),
+                    line: start_line,
+                });
+                i = j;
+            }
+            _ => {
+                toks.push(Tok {
+                    kind: TokKind::Punct,
+                    text: (c as char).to_string(),
+                    line: start_line,
+                });
+                i += 1;
+            }
+        }
+    }
+    toks
+}
+
+/// Scans a plain `"…"` body starting after the opening quote; returns the
+/// index one past the closing quote.
+fn scan_string(b: &[u8], mut j: usize) -> usize {
+    while j < b.len() {
+        match b[j] {
+            b'\\' => j += 2,
+            b'"' => return j + 1,
+            _ => j += 1,
+        }
+    }
+    b.len()
+}
+
+/// Does `r…"`, `br…"` or `b"` start at `i`? (Raw identifiers `r#type` don't:
+/// they have an identifier character after the `#`.)
+fn starts_raw_or_byte_string(b: &[u8], i: usize) -> bool {
+    let mut j = i;
+    if b[j] == b'b' {
+        j += 1;
+    }
+    if j < b.len() && b[j] == b'r' {
+        j += 1;
+        let hashes_start = j;
+        while j < b.len() && b[j] == b'#' {
+            j += 1;
+        }
+        // `r#ident` (raw identifier) has exactly one `#` then an ident char.
+        if j < b.len() && b[j] == b'"' {
+            return true;
+        }
+        if j == hashes_start {
+            return false; // `r` alone is just an identifier prefix
+        }
+        return false;
+    }
+    j < b.len() && b[j] == b'"' && j > i // only the `b"…"` byte-string form
+}
+
+/// Scans a raw/byte string starting at `i`; returns the index one past it.
+fn scan_raw_or_byte_string(b: &[u8], i: usize) -> usize {
+    let mut j = i;
+    if b[j] == b'b' {
+        j += 1;
+    }
+    let raw = j < b.len() && b[j] == b'r';
+    if raw {
+        j += 1;
+    }
+    let mut hashes = 0usize;
+    while j < b.len() && b[j] == b'#' {
+        hashes += 1;
+        j += 1;
+    }
+    debug_assert!(j < b.len() && b[j] == b'"');
+    j += 1; // opening quote
+    if raw {
+        while j < b.len() {
+            if b[j] == b'"' {
+                let mut k = j + 1;
+                let mut seen = 0usize;
+                while k < b.len() && b[k] == b'#' && seen < hashes {
+                    seen += 1;
+                    k += 1;
+                }
+                if seen == hashes {
+                    return k;
+                }
+            }
+            j += 1;
+        }
+        b.len()
+    } else {
+        scan_string(b, j)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_puncts_numbers() {
+        let toks = kinds("fn foo(x: u32) -> u32 { x + 1 }");
+        assert_eq!(toks[0], (TokKind::Ident, "fn".into()));
+        assert_eq!(toks[1], (TokKind::Ident, "foo".into()));
+        assert!(toks.iter().any(|t| t == &(TokKind::Number, "1".into())));
+    }
+
+    #[test]
+    fn strings_are_opaque() {
+        let toks = lex(r#"let s = "thread::spawn inside a string";"#);
+        assert!(!toks
+            .iter()
+            .any(|t| t.kind == TokKind::Ident && t.text == "spawn"));
+        assert_eq!(
+            toks.iter().filter(|t| t.kind == TokKind::Literal).count(),
+            1
+        );
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let src = "let s = r#\"has \"quotes\" and unsafe words\"#; let t = 2;";
+        let toks = lex(src);
+        assert!(!toks.iter().any(|t| t.text == "unsafe"));
+        assert!(toks.iter().any(|t| t.text == "t"));
+    }
+
+    #[test]
+    fn nested_block_comments_and_lines() {
+        let src = "a\n/* outer /* inner */ still comment */\nb";
+        let toks = lex(src);
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].kind, TokKind::BlockComment);
+        assert_eq!(toks[2].text, "b");
+        assert_eq!(toks[2].line, 3);
+    }
+
+    #[test]
+    fn lifetime_vs_char_literal() {
+        let toks = lex("fn f<'a>(x: &'a u32) { let c = 'x'; let n = '\\n'; }");
+        assert_eq!(
+            toks.iter().filter(|t| t.kind == TokKind::Lifetime).count(),
+            2
+        );
+        assert_eq!(
+            toks.iter().filter(|t| t.kind == TokKind::Literal).count(),
+            2
+        );
+    }
+
+    #[test]
+    fn doc_comment_examples_are_comments() {
+        let src = "//! let x = foo().unwrap();\nfn real() {}";
+        let toks = lex(src);
+        assert_eq!(toks[0].kind, TokKind::LineComment);
+        assert!(!toks
+            .iter()
+            .any(|t| t.kind == TokKind::Ident && t.text == "unwrap"));
+    }
+
+    #[test]
+    fn byte_strings() {
+        let toks = lex("let b = b\"panic! bytes\"; let r = br##\"raw panic!\"##;");
+        assert!(!toks.iter().any(|t| t.text == "panic"));
+    }
+}

@@ -1,0 +1,143 @@
+//! # conformance — the repo's own static analyzer
+//!
+//! The workspace rests on invariants no compiler checks: bit-identical
+//! outputs and ledgers at every thread count, ledger discipline on every
+//! communicating [`Cluster`] primitive, a panic-free service boundary, and a
+//! single `unsafe` lifetime erasure whose soundness is an argued protocol
+//! property. This crate makes those invariants *machine-checked*: a
+//! lightweight Rust lexer ([`lexer`]), a per-file context model ([`model`]),
+//! and a set of lint passes ([`passes`]) that walk the workspace and fail the
+//! build on violations.
+//!
+//! Run it with `cargo run -p conformance -- check` from the workspace root
+//! (CI's `analysis` leg does). Suppress a finding site-by-site with
+//!
+//! ```text
+//! // conformance: allow(<lint>) — <reason>
+//! ```
+//!
+//! where the reason is mandatory (an allow with no rationale is itself a
+//! finding) and covers the directive's line plus the three lines below it.
+//! The lint vocabulary is [`passes::LINTS`].
+//!
+//! [`Cluster`]: ../mpc_runtime/struct.Cluster.html
+
+pub mod lexer;
+pub mod model;
+pub mod passes;
+
+use model::{Diagnostic, SourceFile};
+use std::path::{Path, PathBuf};
+
+/// Lints one source text as if it lived at `rel` inside the workspace.
+pub fn check_source(rel: &Path, src: &str) -> Vec<Diagnostic> {
+    let file = SourceFile::parse(rel, src);
+    let mut diags = passes::lint_file(&file);
+    for (line, name) in file.allow_names() {
+        if !passes::known_lint(name) {
+            diags.push(Diagnostic {
+                lint: "allow-syntax",
+                file: rel.to_path_buf(),
+                line,
+                msg: format!(
+                    "allow names unknown lint `{name}` (known: {})",
+                    passes::LINTS
+                        .iter()
+                        .map(|(n, _)| *n)
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ),
+            });
+        }
+    }
+    diags
+}
+
+/// Lints one file on disk; `root` anchors the workspace-relative path used
+/// for scope decisions and display.
+pub fn check_file(root: &Path, path: &Path) -> std::io::Result<Vec<Diagnostic>> {
+    let src = std::fs::read_to_string(path)?;
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    Ok(check_source(rel, &src))
+}
+
+/// Directories the workspace walk descends into (relative to the root).
+const WALK_ROOTS: [&str; 5] = ["crates", "shims", "src", "tests", "examples"];
+
+/// Walks the workspace under `root` and lints every `.rs` file, skipping
+/// build output and the seeded-violation fixtures.
+pub fn check_workspace(root: &Path) -> std::io::Result<Vec<Diagnostic>> {
+    let mut files = Vec::new();
+    for top in WALK_ROOTS {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            collect_rs(&dir, &mut files)?;
+        }
+    }
+    files.sort();
+    let mut diags = Vec::new();
+    for f in &files {
+        diags.extend(check_file(root, f)?);
+    }
+    Ok(diags)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            // `fixtures/` holds seeded violations; `target/` holds build junk.
+            if name == "fixtures" || name == "target" || name.starts_with('.') {
+                continue;
+            }
+            collect_rs(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Finds the workspace root: the nearest ancestor of `start` whose
+/// `Cargo.toml` declares `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start);
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d.to_path_buf());
+            }
+        }
+        dir = d.parent();
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_allow_name_is_reported() {
+        let diags = check_source(
+            Path::new("x.rs"),
+            "// conformance: allow(no-such-lint) — because\nfn f() {}\n",
+        );
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].lint, "allow-syntax");
+        assert!(diags[0].msg.contains("no-such-lint"));
+    }
+
+    #[test]
+    fn clean_source_has_no_findings() {
+        let diags = check_source(
+            Path::new("crates/foo/src/lib.rs"),
+            "pub fn f() -> u32 { 1 }\n",
+        );
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+}

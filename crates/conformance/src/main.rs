@@ -1,0 +1,130 @@
+//! `conformance` CLI. Usage:
+//!
+//! ```text
+//! conformance check [--root <dir>] [paths…]   lint the workspace (or paths)
+//! conformance list                            print the lint vocabulary
+//! ```
+//!
+//! `check` exits 0 when no finding survives the allow directives, 1 when any
+//! does, 2 on usage/IO errors. With explicit paths it lints exactly those
+//! files/directories (fixture headers may retarget their crate scope), which
+//! is how the seeded-violation fixtures are exercised from CI.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    match it.next().map(String::as_str) {
+        Some("list") => {
+            for (name, what) in conformance::passes::LINTS {
+                println!("{name:16} {what}");
+            }
+            ExitCode::SUCCESS
+        }
+        Some("check") => {
+            let mut root: Option<PathBuf> = None;
+            let mut paths: Vec<PathBuf> = Vec::new();
+            while let Some(arg) = it.next() {
+                if arg == "--root" {
+                    match it.next() {
+                        Some(r) => root = Some(PathBuf::from(r)),
+                        None => return usage("--root needs a directory"),
+                    }
+                } else {
+                    paths.push(PathBuf::from(arg));
+                }
+            }
+            run_check(root, paths)
+        }
+        Some(other) => usage(&format!("unknown command `{other}`")),
+        None => usage("missing command"),
+    }
+}
+
+fn usage(why: &str) -> ExitCode {
+    eprintln!("error: {why}");
+    eprintln!("usage: conformance check [--root <dir>] [paths…] | conformance list");
+    ExitCode::from(2)
+}
+
+fn run_check(root: Option<PathBuf>, paths: Vec<PathBuf>) -> ExitCode {
+    let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    let root = root
+        .or_else(|| conformance::find_workspace_root(&cwd))
+        .unwrap_or(cwd);
+
+    let result = if paths.is_empty() {
+        conformance::check_workspace(&root)
+    } else {
+        let mut diags = Vec::new();
+        let mut err = None;
+        for p in &paths {
+            let outcome = if p.is_dir() {
+                check_dir(&root, p)
+            } else {
+                conformance::check_file(&root, p)
+            };
+            match outcome {
+                Ok(d) => diags.extend(d),
+                Err(e) => {
+                    err = Some(std::io::Error::new(
+                        e.kind(),
+                        format!("{}: {e}", p.display()),
+                    ))
+                }
+            }
+        }
+        match err {
+            Some(e) => Err(e),
+            None => Ok(diags),
+        }
+    };
+
+    match result {
+        Ok(diags) if diags.is_empty() => {
+            println!("conformance: clean");
+            ExitCode::SUCCESS
+        }
+        Ok(diags) => {
+            for d in &diags {
+                println!("{d}");
+            }
+            println!(
+                "conformance: {} finding{} — see `conformance list` for the vocabulary; \
+                 suppress a justified site with `// conformance: allow(<lint>) — <reason>`",
+                diags.len(),
+                if diags.len() == 1 { "" } else { "s" }
+            );
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn check_dir(root: &Path, dir: &Path) -> std::io::Result<Vec<conformance::model::Diagnostic>> {
+    let mut files = Vec::new();
+    collect(dir, &mut files)?;
+    files.sort();
+    let mut diags = Vec::new();
+    for f in &files {
+        diags.extend(conformance::check_file(root, f)?);
+    }
+    Ok(diags)
+}
+
+fn collect(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            collect(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}

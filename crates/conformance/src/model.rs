@@ -1,0 +1,451 @@
+//! The per-file analysis model shared by every lint pass: lexed tokens plus
+//! the three layers of repo-specific context — which *crate scope* the file
+//! belongs to, which lines are *test code*, and which lines carry
+//! `// conformance: allow(<lint>) — <reason>` suppressions.
+
+use crate::lexer::{lex, Tok, TokKind};
+use std::path::{Path, PathBuf};
+
+/// Which invariant regime a file falls under. Determined from its workspace
+/// path; fixtures override it with a `// conformance-fixture: <scope>` header
+/// so seeded-violation files exercise the same passes from anywhere.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CrateScope {
+    /// Deterministic kernel/pipeline crates: `seaweed-lis`, `monge`,
+    /// `monge-mpc`, `lis-mpc`, `mpc-runtime`. Order- and time-dependence here
+    /// breaks the bit-identical-ledger invariant.
+    Kernel,
+    /// The `lis-service` crate: the panic-free service boundary.
+    Service,
+    /// The file defining the `Cluster` communicating primitives.
+    RuntimeCluster,
+    /// The hand-rolled thread pool and the loom-mini shim: the only places
+    /// allowed to spawn raw threads (their job is managing threads).
+    ThreadShim,
+    /// Everything else (bench harness, other shims, facade, tests, examples).
+    Other,
+}
+
+/// One lint finding.
+#[derive(Clone, Debug)]
+pub struct Diagnostic {
+    pub lint: &'static str,
+    pub file: PathBuf,
+    pub line: u32,
+    pub msg: String,
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file.display(),
+            self.line,
+            self.lint,
+            self.msg
+        )
+    }
+}
+
+/// A span of a `fn` item: its name and the token range of its body.
+#[derive(Clone, Debug)]
+pub struct FnSpan {
+    pub name: String,
+    pub line: u32,
+    pub is_pub: bool,
+    /// Token indices of the body, *excluding* the outer braces.
+    pub body: std::ops::Range<usize>,
+}
+
+/// A lexed file plus its lint context.
+pub struct SourceFile {
+    /// Path relative to the workspace root (display + scope decisions).
+    pub rel: PathBuf,
+    pub toks: Vec<Tok>,
+    pub scope: CrateScope,
+    /// Whole file is test/bench/example context (`tests/`, `benches/`,
+    /// `examples/`).
+    pub test_file: bool,
+    /// Line ranges covered by `#[cfg(test)]` items.
+    test_regions: Vec<(u32, u32)>,
+    /// `(line, lint)` pairs from well-formed allow directives.
+    allows: Vec<(u32, String)>,
+    /// Diagnostics produced while building the model (malformed directives).
+    pub model_diags: Vec<Diagnostic>,
+}
+
+/// How many lines below it an allow directive covers (the directive line
+/// itself plus this many following lines — enough for a comment directly
+/// above a short multi-line statement).
+const ALLOW_WINDOW: u32 = 3;
+
+impl SourceFile {
+    pub fn parse(rel: &Path, src: &str) -> SourceFile {
+        let toks = lex(src);
+        let mut scope = scope_from_path(rel, &toks);
+        let test_file = is_test_path(rel);
+        let mut allows = Vec::new();
+        let mut model_diags = Vec::new();
+
+        for t in &toks {
+            if !matches!(t.kind, TokKind::LineComment | TokKind::BlockComment) {
+                continue;
+            }
+            if let Some(forced) = fixture_scope(&t.text) {
+                scope = forced;
+            }
+            match parse_allow(&t.text) {
+                AllowParse::None => {}
+                AllowParse::Ok(lints) => {
+                    for l in lints {
+                        allows.push((t.line, l));
+                    }
+                }
+                AllowParse::Malformed(why) => model_diags.push(Diagnostic {
+                    lint: "allow-syntax",
+                    file: rel.to_path_buf(),
+                    line: t.line,
+                    msg: why,
+                }),
+            }
+        }
+
+        let test_regions = find_test_regions(&toks);
+        SourceFile {
+            rel: rel.to_path_buf(),
+            toks,
+            scope,
+            test_file,
+            test_regions,
+            allows,
+            model_diags,
+        }
+    }
+
+    /// Is `line` inside test code (a test file or a `#[cfg(test)]` region)?
+    pub fn in_test_code(&self, line: u32) -> bool {
+        self.test_file
+            || self
+                .test_regions
+                .iter()
+                .any(|&(a, b)| (a..=b).contains(&line))
+    }
+
+    /// The `(line, lint-name)` pairs of every allow directive in the file
+    /// (for unknown-name validation by the engine).
+    pub fn allow_names(&self) -> impl Iterator<Item = (u32, &str)> + '_ {
+        self.allows.iter().map(|(l, n)| (*l, n.as_str()))
+    }
+
+    /// Is `lint` suppressed at `line` by a nearby allow directive?
+    pub fn allowed(&self, lint: &str, line: u32) -> bool {
+        self.allows
+            .iter()
+            .any(|(l, name)| name == lint && (*l..=l.saturating_add(ALLOW_WINDOW)).contains(&line))
+    }
+
+    /// Code tokens only (comments stripped), with their original indices into
+    /// `self.toks` so passes can look back at neighbouring comments.
+    pub fn code(&self) -> Vec<(usize, &Tok)> {
+        self.toks
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.is_code())
+            .collect()
+    }
+
+    /// All `fn` items with resolvable brace-delimited bodies.
+    pub fn fns(&self) -> Vec<FnSpan> {
+        let code = self.code();
+        let mut out = Vec::new();
+        let mut i = 0usize;
+        while i < code.len() {
+            if code[i].1.text == "fn" && code[i].1.kind == TokKind::Ident {
+                // `pub` possibly separated by `(crate)` etc. sits left of any
+                // of: const/async/unsafe/extern "…"/fn.
+                let mut j = i;
+                let mut is_pub = false;
+                while j > 0 {
+                    j -= 1;
+                    let t = code[j].1;
+                    match t.text.as_str() {
+                        "pub" => {
+                            is_pub = true;
+                            break;
+                        }
+                        "const" | "async" | "unsafe" | "extern" | "crate" | ")" | "(" => {}
+                        _ => break,
+                    }
+                }
+                let Some(name_tok) = code.get(i + 1) else {
+                    break;
+                };
+                let name = name_tok.1.text.clone();
+                // Find the body `{`: first `{` at angle/paren/bracket depth 0.
+                // `where` clauses and return types contain no stray braces in
+                // this codebase; generic `<` depth is approximated by skipping
+                // to the parameter `(` first.
+                let mut k = i + 2;
+                let mut depth = 0i32;
+                let mut open = None;
+                while k < code.len() {
+                    match code[k].1.text.as_str() {
+                        "(" | "[" => depth += 1,
+                        ")" | "]" => depth -= 1,
+                        "{" if depth == 0 => {
+                            open = Some(k);
+                            break;
+                        }
+                        ";" if depth == 0 => break, // trait method declaration
+                        _ => {}
+                    }
+                    k += 1;
+                }
+                if let Some(open) = open {
+                    let mut brace = 1i32;
+                    let mut close = open + 1;
+                    while close < code.len() && brace > 0 {
+                        match code[close].1.text.as_str() {
+                            "{" => brace += 1,
+                            "}" => brace -= 1,
+                            _ => {}
+                        }
+                        close += 1;
+                    }
+                    out.push(FnSpan {
+                        name,
+                        line: code[i].1.line,
+                        is_pub,
+                        body: code[open + 1].0..code[close - 1].0,
+                    });
+                }
+            }
+            i += 1;
+        }
+        out
+    }
+}
+
+/// `// conformance-fixture: <scope>` header (fixture files only).
+fn fixture_scope(comment: &str) -> Option<CrateScope> {
+    let rest = comment.trim_start_matches('/').trim();
+    let tag = rest.strip_prefix("conformance-fixture:")?.trim();
+    match tag {
+        "kernel-crate" => Some(CrateScope::Kernel),
+        "service-crate" => Some(CrateScope::Service),
+        "runtime-cluster" => Some(CrateScope::RuntimeCluster),
+        "thread-shim" => Some(CrateScope::ThreadShim),
+        _ => Some(CrateScope::Other),
+    }
+}
+
+enum AllowParse {
+    None,
+    Ok(Vec<String>),
+    Malformed(String),
+}
+
+/// Parses `conformance: allow(<lint>[, <lint>…]) — <reason>` out of a comment.
+/// The reason is mandatory: an allow with no rationale is itself a finding.
+fn parse_allow(comment: &str) -> AllowParse {
+    // Directives are plain `//` comments whose body *starts* with
+    // `conformance:` — doc comments and prose that merely mention the word
+    // (or quote the syntax in an example) are never directives.
+    let body = comment.trim_start();
+    let Some(body) = body.strip_prefix("//") else {
+        return AllowParse::None;
+    };
+    if body.starts_with('/') || body.starts_with('!') {
+        return AllowParse::None; // doc comment
+    }
+    let Some(rest) = body.trim_start().strip_prefix("conformance:") else {
+        return AllowParse::None;
+    };
+    let rest = rest.trim_start();
+    let Some(rest) = rest.strip_prefix("allow") else {
+        return AllowParse::Malformed(
+            "malformed directive: expected `conformance: allow(<lint>) — <reason>`".to_string(),
+        );
+    };
+    let rest = rest.trim_start();
+    let Some(rest) = rest.strip_prefix('(') else {
+        return AllowParse::Malformed("allow directive is missing `(<lint>)`".to_string());
+    };
+    let Some(close) = rest.find(')') else {
+        return AllowParse::Malformed("allow directive is missing the closing `)`".to_string());
+    };
+    let names: Vec<String> = rest[..close]
+        .split(',')
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .collect();
+    if names.is_empty() {
+        return AllowParse::Malformed("allow directive names no lint".to_string());
+    }
+    let reason = rest[close + 1..]
+        .trim_start()
+        .trim_start_matches(['—', '-', ':'])
+        .trim();
+    if reason.is_empty() {
+        return AllowParse::Malformed(format!(
+            "allow({}) has no reason — write `conformance: allow({}) — <why this is sound>`",
+            names.join(", "),
+            names.join(", ")
+        ));
+    }
+    AllowParse::Ok(names)
+}
+
+fn is_test_path(rel: &Path) -> bool {
+    rel.components().any(|c| {
+        matches!(
+            c.as_os_str().to_str(),
+            Some("tests") | Some("benches") | Some("examples")
+        )
+    })
+}
+
+fn scope_from_path(rel: &Path, toks: &[Tok]) -> CrateScope {
+    let p = rel.to_string_lossy().replace('\\', "/");
+    if p.starts_with("shims/rayon") || p.starts_with("shims/loom") {
+        return CrateScope::ThreadShim;
+    }
+    if p == "crates/mpc-runtime/src/cluster.rs" {
+        return CrateScope::RuntimeCluster;
+    }
+    if p.starts_with("crates/lis-service/src") {
+        return CrateScope::Service;
+    }
+    const KERNEL: [&str; 5] = [
+        "crates/seaweed-lis/src",
+        "crates/monge/src",
+        "crates/monge-mpc/src",
+        "crates/lis-mpc/src",
+        "crates/mpc-runtime/src",
+    ];
+    if KERNEL.iter().any(|k| p.starts_with(k)) {
+        return CrateScope::Kernel;
+    }
+    // A file that defines `impl Cluster` is the cluster file wherever it
+    // lives (keeps the lint honest if the module is ever moved).
+    let code: Vec<&Tok> = toks.iter().filter(|t| t.is_code()).collect();
+    for w in code.windows(2) {
+        if w[0].text == "impl" && w[1].text == "Cluster" {
+            return CrateScope::RuntimeCluster;
+        }
+    }
+    CrateScope::Other
+}
+
+/// Line ranges covered by `#[cfg(test)]` followed by an item with a brace
+/// body (a `mod tests { … }` or a single test fn).
+fn find_test_regions(toks: &[Tok]) -> Vec<(u32, u32)> {
+    let code: Vec<&Tok> = toks.iter().filter(|t| t.is_code()).collect();
+    let mut regions = Vec::new();
+    let mut i = 0usize;
+    while i + 4 < code.len() {
+        let is_cfg_test = code[i].text == "#"
+            && code[i + 1].text == "["
+            && code[i + 2].text == "cfg"
+            && code[i + 3].text == "("
+            && code[i + 4].text == "test";
+        if is_cfg_test {
+            // Skip to the first `{` after the attribute's closing `]`.
+            let mut j = i + 5;
+            let mut bracket = 2i32; // inside `[` and `(`
+            while j < code.len() && bracket > 0 {
+                match code[j].text.as_str() {
+                    "[" | "(" => bracket += 1,
+                    "]" | ")" => bracket -= 1,
+                    _ => {}
+                }
+                j += 1;
+            }
+            while j < code.len() && code[j].text != "{" {
+                if code[j].text == ";" {
+                    break; // e.g. `#[cfg(test)] use …;`
+                }
+                j += 1;
+            }
+            if j < code.len() && code[j].text == "{" {
+                let start = code[i].line;
+                let mut depth = 1i32;
+                let mut k = j + 1;
+                while k < code.len() && depth > 0 {
+                    match code[k].text.as_str() {
+                        "{" => depth += 1,
+                        "}" => depth -= 1,
+                        _ => {}
+                    }
+                    k += 1;
+                }
+                let end = code.get(k.saturating_sub(1)).map_or(start, |t| t.line);
+                regions.push((start, end));
+                i = k;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    regions
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::Path;
+
+    #[test]
+    fn allow_directive_round_trip() {
+        let src = "// conformance: allow(raw-spawn) — accept loop owns its threads\nfn f() {}\n";
+        let f = SourceFile::parse(Path::new("crates/x/src/lib.rs"), src);
+        assert!(f.model_diags.is_empty());
+        assert!(f.allowed("raw-spawn", 1));
+        assert!(f.allowed("raw-spawn", 2));
+        assert!(!f.allowed("raw-spawn", 9));
+        assert!(!f.allowed("service-panic", 2));
+    }
+
+    #[test]
+    fn allow_without_reason_is_a_finding() {
+        let src = "// conformance: allow(hash-iteration)\nfn f() {}\n";
+        let f = SourceFile::parse(Path::new("a.rs"), src);
+        assert_eq!(f.model_diags.len(), 1);
+        assert!(f.model_diags[0].msg.contains("no reason"));
+    }
+
+    #[test]
+    fn cfg_test_regions_cover_mod_tests() {
+        let src = "fn real() {}\n#[cfg(test)]\nmod tests {\n    fn t() {}\n}\n";
+        let f = SourceFile::parse(Path::new("a.rs"), src);
+        assert!(!f.in_test_code(1));
+        assert!(f.in_test_code(3));
+        assert!(f.in_test_code(4));
+    }
+
+    #[test]
+    fn fixture_header_forces_scope() {
+        let src = "// conformance-fixture: service-crate\nfn f() {}\n";
+        let f = SourceFile::parse(Path::new("anywhere/at/all.rs"), src);
+        assert_eq!(f.scope, CrateScope::Service);
+    }
+
+    #[test]
+    fn fn_spans_find_bodies_and_pubness() {
+        let src = "pub fn a(x: u32) -> u32 { x }\nfn b() { let c = |y: u32| y; }\n";
+        let f = SourceFile::parse(Path::new("a.rs"), src);
+        let fns = f.fns();
+        assert_eq!(fns.len(), 2);
+        assert_eq!(fns[0].name, "a");
+        assert!(fns[0].is_pub);
+        assert!(!fns[1].is_pub);
+    }
+
+    #[test]
+    fn impl_cluster_content_promotes_scope() {
+        let src = "struct Cluster;\nimpl Cluster {\n    pub fn f(&self) {}\n}\n";
+        let f = SourceFile::parse(Path::new("somewhere/else.rs"), src);
+        assert_eq!(f.scope, CrateScope::RuntimeCluster);
+    }
+}

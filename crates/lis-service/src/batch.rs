@@ -12,8 +12,15 @@
 //! (see `lis_mpc::witness`).
 
 use std::collections::HashMap;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::Duration;
+
+/// Locks with poison recovery: every critical section in this module leaves
+/// the slot state consistent (single-field writes), so a panic on another
+/// connection must not take the whole coalescer down with it.
+fn lock_recover<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Per-query result: the witness positions, or the batch's error.
 type BatchResult = Result<Vec<Vec<usize>>, String>;
@@ -76,7 +83,7 @@ impl Coalescer {
         // "remove" — retry until a fresh one opens.
         let (slot, my_index) = loop {
             let slot = {
-                let mut gathering = self.gathering.lock().expect("coalescer poisoned");
+                let mut gathering = lock_recover(&self.gathering);
                 Arc::clone(gathering.entry(key).or_insert_with(|| {
                     Arc::new(Slot {
                         state: Mutex::new(SlotState {
@@ -88,7 +95,7 @@ impl Coalescer {
                     })
                 }))
             };
-            let mut state = slot.state.lock().expect("slot poisoned");
+            let mut state = lock_recover(&slot.state);
             if state.closed {
                 drop(state);
                 std::thread::yield_now();
@@ -104,34 +111,40 @@ impl Coalescer {
             // Leader: give followers the gather window, then close and run.
             std::thread::sleep(self.window);
             let windows = {
-                let mut gathering = self.gathering.lock().expect("coalescer poisoned");
-                let mut state = slot.state.lock().expect("slot poisoned");
+                let mut gathering = lock_recover(&self.gathering);
+                let mut state = lock_recover(&slot.state);
                 state.closed = true;
                 gathering.remove(&key);
                 state.windows.clone()
             };
             let result = descend(&windows);
-            let mut state = slot.state.lock().expect("slot poisoned");
+            let mut state = lock_recover(&slot.state);
             state.result = Some(result);
             slot.ready.notify_all();
             drop(state);
         }
 
         // Everyone (leader included) reads their slot from the posted result.
-        let mut state = slot.state.lock().expect("slot poisoned");
+        let mut state = lock_recover(&slot.state);
         while state.result.is_none() {
-            state = slot.ready.wait(state).expect("slot poisoned");
+            state = slot
+                .ready
+                .wait(state)
+                .unwrap_or_else(PoisonError::into_inner);
         }
         let batch_size = state.windows.len();
-        match state.result.as_ref().expect("checked above") {
-            Ok(all) => Ok(Coalesced {
+        match state.result.as_ref() {
+            Some(Ok(all)) => Ok(Coalesced {
                 positions: all
                     .get(my_index)
                     .cloned()
                     .ok_or("batch result misaligned")?,
                 batch_size,
             }),
-            Err(e) => Err(e.clone()),
+            Some(Err(e)) => Err(e.clone()),
+            // Unreachable (the wait loop above saw `Some`), but the service
+            // boundary answers errors, it does not crash connections.
+            None => Err("coalescer woke without a posted result".to_string()),
         }
     }
 }

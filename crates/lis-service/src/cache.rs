@@ -128,20 +128,19 @@ impl CacheEntry {
     /// The window-query structure, built off the root kernel on first use
     /// and cached until the next append.
     pub fn queries(&mut self) -> &SemiLocalLis {
-        if self.queries.is_none() {
-            let root = self.kernel.kernel(&mut self.cluster);
-            self.queries = Some(SemiLocalLis::from_kernel(root));
-        }
-        self.queries.as_ref().expect("just built")
+        let kernel = &mut self.kernel;
+        let cluster = &mut self.cluster;
+        self.queries
+            .get_or_insert_with(|| SemiLocalLis::from_kernel(kernel.kernel(cluster)))
     }
 
     /// The recorded merge tree, rebuilt from the sequence on first use after
     /// an append (the rebuild is local; only descents touch the cluster).
     pub fn trace(&mut self) -> &WitnessTrace {
-        if self.trace.is_none() {
-            self.trace = Some(WitnessTrace::record(&self.seq, self.kernel.block_size()));
-        }
-        self.trace.as_ref().expect("just built")
+        let seq = &self.seq;
+        let block_size = self.kernel.block_size();
+        self.trace
+            .get_or_insert_with(|| WitnessTrace::record(seq, block_size))
     }
 
     /// Maps a half-open value range to the rank-window vocabulary of
@@ -154,15 +153,12 @@ impl CacheEntry {
     /// on first use. All windows share a single superstep schedule (see
     /// [`lis_mpc::recover_batch`]); windows must satisfy `lo ≤ hi ≤ n`.
     pub fn witness_batch(&mut self, windows: &[(usize, usize)], scope: &str) -> Vec<Vec<usize>> {
-        if self.trace.is_none() {
-            self.trace = Some(WitnessTrace::record(&self.seq, self.kernel.block_size()));
-        }
-        lis_mpc::recover_batch(
-            &mut self.cluster,
-            self.trace.as_ref().expect("just built"),
-            windows,
-            scope,
-        )
+        let seq = &self.seq;
+        let block_size = self.kernel.block_size();
+        let trace = self
+            .trace
+            .get_or_insert_with(|| WitnessTrace::record(seq, block_size));
+        lis_mpc::recover_batch(&mut self.cluster, trace, windows, scope)
     }
 
     /// Extends the sequence (and the memoized hash) by `block`; drops the

@@ -234,7 +234,7 @@ fn parse_int(bytes: &[u8], at: &mut usize) -> Result<Value, String> {
             "non-integer numbers are not part of the protocol (byte {at})"
         ));
     }
-    let text = std::str::from_utf8(&bytes[start..*at]).expect("digits are ASCII");
+    let text = std::str::from_utf8(&bytes[start..*at]).map_err(|e| e.to_string())?;
     text.parse::<i64>()
         .map(Value::Int)
         .map_err(|e| format!("bad integer `{text}`: {e}"))
@@ -282,7 +282,9 @@ fn parse_string(bytes: &[u8], at: &mut usize) -> Result<String, String> {
                 // Consume one UTF-8 scalar (the input is a &str, so boundaries
                 // are valid).
                 let rest = std::str::from_utf8(&bytes[*at..]).map_err(|e| e.to_string())?;
-                let c = rest.chars().next().expect("non-empty");
+                let Some(c) = rest.chars().next() else {
+                    return Err(format!("truncated string at byte {at}"));
+                };
                 if (c as u32) < 0x20 {
                     return Err(format!("raw control byte in string at {at}"));
                 }

@@ -37,6 +37,9 @@ impl Server {
         let running = Arc::new(AtomicBool::new(true));
         let acceptor = {
             let running = Arc::clone(&running);
+            // conformance: allow(raw-spawn) — the accept loop is the one
+            // long-lived service thread; `Server::join` shuts it down by
+            // clearing `running` and poking the socket.
             std::thread::spawn(move || {
                 for stream in listener.incoming() {
                     if !running.load(Ordering::SeqCst) {
@@ -48,6 +51,9 @@ impl Server {
                     // Detached: a connection thread lives until its client
                     // hangs up. Joining them here would deadlock `join()`
                     // against clients that outlive the shutdown request.
+                    // conformance: allow(raw-spawn) — per-connection I/O
+                    // threads; they exit when the client disconnects or
+                    // `running` clears, and never touch the rayon pool.
                     std::thread::spawn(move || {
                         serve_connection(stream, &service, &running, addr);
                     });

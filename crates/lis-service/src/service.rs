@@ -11,8 +11,12 @@ use crate::batch::Coalescer;
 use crate::cache::{CacheCounters, KernelCache};
 use crate::json::Value;
 use crate::protocol::{error_response, Request};
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard};
 use std::time::Duration;
+
+/// What a poisoned cache lock answers: the panic happened on *another*
+/// connection; this one still gets a structured error, not a cascade.
+const POISONED: &str = "kernel cache poisoned by a panic on another connection";
 
 /// Tunables of a service instance.
 #[derive(Clone, Copy, Debug)]
@@ -83,10 +87,21 @@ impl Service {
         }
     }
 
+    /// Locks the cache; a poisoned lock becomes an error the caller returns
+    /// as `{"ok":false}` instead of crashing the connection.
+    fn lock_cache(&self) -> Result<MutexGuard<'_, KernelCache>, String> {
+        self.cache.lock().map_err(|_| POISONED.to_string())
+    }
+
     fn ingest(&self, seq: &[u32]) -> Value {
-        let mut cache = self.cache.lock().expect("cache poisoned");
+        let mut cache = match self.lock_cache() {
+            Ok(cache) => cache,
+            Err(e) => return error_response(&e),
+        };
         let (hash, cached) = cache.ingest(seq.to_vec());
-        let entry = cache.peek(hash).expect("just ingested");
+        let Some(entry) = cache.peek(hash) else {
+            return error_response("ingested kernel evicted before it could be answered");
+        };
         let id = entry.id();
         let n = entry.seq().len();
         let queries = entry.queries();
@@ -107,7 +122,10 @@ impl Service {
             Ok(hash) => hash,
             Err(e) => return error_response(&e),
         };
-        let mut cache = self.cache.lock().expect("cache poisoned");
+        let mut cache = match self.lock_cache() {
+            Ok(cache) => cache,
+            Err(e) => return error_response(&e),
+        };
         let Some(entry) = cache.get(hash) else {
             return error_response(&format!("unknown kernel id `{id}`"));
         };
@@ -173,7 +191,10 @@ impl Service {
         };
 
         // Attach the witnessed values (read off the hot sequence).
-        let mut cache = self.cache.lock().expect("cache poisoned");
+        let mut cache = match self.lock_cache() {
+            Ok(cache) => cache,
+            Err(e) => return error_response(&e),
+        };
         let Some(entry) = cache.peek(hash) else {
             return error_response(&format!("unknown kernel id `{id}`"));
         };
@@ -205,7 +226,7 @@ impl Service {
     /// (multi-range request) or as the coalescer's leader closure — in both
     /// cases with no locks held on entry.
     fn descend(&self, hash: u64, ranges: &[(u32, u32)]) -> Result<Vec<Vec<usize>>, String> {
-        let mut cache = self.cache.lock().expect("cache poisoned");
+        let mut cache = self.lock_cache()?;
         let Some(entry) = cache.get(hash) else {
             return Err(format!("unknown kernel id `{hash:016x}`"));
         };
@@ -221,12 +242,17 @@ impl Service {
             Ok(hash) => hash,
             Err(e) => return error_response(&e),
         };
-        let mut cache = self.cache.lock().expect("cache poisoned");
+        let mut cache = match self.lock_cache() {
+            Ok(cache) => cache,
+            Err(e) => return error_response(&e),
+        };
         let (new_hash, stats) = match cache.append(hash, block) {
             Ok(out) => out,
             Err(e) => return error_response(&e),
         };
-        let entry = cache.peek(new_hash).expect("just appended");
+        let Some(entry) = cache.peek(new_hash) else {
+            return error_response("appended kernel evicted before it could be answered");
+        };
         let new_id = entry.id();
         let n = entry.seq().len();
         let queries = entry.queries();
@@ -264,7 +290,10 @@ impl Service {
     }
 
     fn stats(&self) -> Value {
-        let cache = self.cache.lock().expect("cache poisoned");
+        let cache = match self.lock_cache() {
+            Ok(cache) => cache,
+            Err(e) => return error_response(&e),
+        };
         Value::obj(vec![
             ("ok", Value::Bool(true)),
             ("entries", Value::Int(cache.entry_count() as i64)),

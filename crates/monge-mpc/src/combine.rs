@@ -38,7 +38,7 @@ use monge::multiway::{
 };
 use mpc_runtime::{costs, Cluster, DistVec};
 use rayon::prelude::*;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A nonzero of the union permutation, tagged with its parent instance and color.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -128,7 +128,7 @@ pub fn distributed_combine(
     grid_phase: GridPhase,
     routing: Routing,
 ) -> DistVec<Nonzero> {
-    let specs: HashMap<u64, ParentSpec> = parents.iter().map(|p| (p.inst, *p)).collect();
+    let specs: BTreeMap<u64, ParentSpec> = parents.iter().map(|p| (p.inst, *p)).collect();
     let specs = cluster.broadcast(specs);
 
     // Phase 1: per-line demarcation rows.
@@ -215,7 +215,7 @@ fn route_band(
     cluster: &mut Cluster,
     points: &DistVec<Colored>,
     active: &DistVec<ActiveSubgrid>,
-    specs: &HashMap<u64, ParentSpec>,
+    specs: &BTreeMap<u64, ParentSpec>,
     by_rows: bool,
 ) -> DistVec<(Target, Payload)> {
     // A descriptor slimmed to plain words: (parent, gi, gj, wlo, whi).
@@ -321,7 +321,7 @@ fn resolve_subgrid(
     gi: u32,
     gj: u32,
     items: Vec<(Target, Payload)>,
-    specs: &HashMap<u64, ParentSpec>,
+    specs: &BTreeMap<u64, ParentSpec>,
 ) -> Vec<Nonzero> {
     let spec = specs[&parent];
     let g = spec.g as u32;
@@ -494,7 +494,7 @@ struct LineQuery {
 fn grid_phase_tree(
     cluster: &mut Cluster,
     colored: &DistVec<Colored>,
-    specs: &HashMap<u64, ParentSpec>,
+    specs: &BTreeMap<u64, ParentSpec>,
 ) -> DistVec<LineInfo> {
     let mut parent_ids: Vec<u64> = specs.keys().copied().collect();
     parent_ids.sort_unstable();
@@ -601,7 +601,7 @@ fn grid_phase_tree(
     for t in 1..=max_height {
         // Per-parent geometry of this level, hoisted out of the per-point
         // closures: (node size at level min(t, height), composite stride W).
-        let geom: HashMap<u64, (u64, u64)> = specs
+        let geom: BTreeMap<u64, (u64, u64)> = specs
             .iter()
             .map(|(&pid, spec)| {
                 let size = level_size(spec.n, spec.h, t.min(tree_height(spec.n, spec.h)));
@@ -730,7 +730,7 @@ fn grid_phase_tree(
 
 /// The number of descent levels the tree grid phase performs for these parents
 /// (also the schedule mirrored by [`grid_phase_reference`]).
-fn grid_tree_levels(specs: &HashMap<u64, ParentSpec>) -> u32 {
+fn grid_tree_levels(specs: &BTreeMap<u64, ParentSpec>) -> u32 {
     specs
         .values()
         .map(|s| tree_height(s.n, s.h))
@@ -764,7 +764,7 @@ fn line_columns(spec: &ParentSpec) -> Vec<u32> {
 fn grid_phase_reference(
     cluster: &mut Cluster,
     colored: &DistVec<Colored>,
-    specs: &HashMap<u64, ParentSpec>,
+    specs: &BTreeMap<u64, ParentSpec>,
 ) -> DistVec<LineInfo> {
     let levels = grid_tree_levels(specs) as u64;
     cluster.charge_rounds(
@@ -844,7 +844,7 @@ fn classify(
     cluster: &mut Cluster,
     colored: &DistVec<Colored>,
     lines: DistVec<LineInfo>,
-    specs: &HashMap<u64, ParentSpec>,
+    specs: &BTreeMap<u64, ParentSpec>,
     routing: Routing,
 ) -> (DistVec<ActiveSubgrid>, DistVec<(Colored, Verdict)>) {
     #[derive(Clone, Debug)]
@@ -1013,13 +1013,13 @@ fn attach_base_f_tree(
     cluster: &mut Cluster,
     colored: &DistVec<Colored>,
     active: DistVec<ActiveSubgrid>,
-    specs: &HashMap<u64, ParentSpec>,
+    specs: &BTreeMap<u64, ParentSpec>,
 ) -> DistVec<ActiveSubgrid> {
     // Every point participates once per tree level (level 0 is the whole row
     // range, answering the global counts): Õ(1) copies — the tree's space cost.
     // Per-parent geometry hoisted out of the per-point closure: the composite
     // stride W and the node size of every level.
-    let geom: HashMap<u64, (u64, Vec<u64>)> = specs
+    let geom: BTreeMap<u64, (u64, Vec<u64>)> = specs
         .iter()
         .map(|(&pid, spec)| {
             let sizes: Vec<u64> = (0..=tree_height(spec.n, spec.h))
@@ -1157,7 +1157,7 @@ fn attach_base_f_reference(
     cluster: &mut Cluster,
     colored: &DistVec<Colored>,
     active: DistVec<ActiveSubgrid>,
-    specs: &HashMap<u64, ParentSpec>,
+    specs: &BTreeMap<u64, ParentSpec>,
 ) -> DistVec<ActiveSubgrid> {
     cluster.charge_rounds(
         "corner_f_tree_mirror",

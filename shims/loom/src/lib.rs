@@ -1,0 +1,271 @@
+//! # loom-mini — exhaustive schedule exploration for small concurrent models
+//!
+//! An offline, dependency-free take on the `loom` model checker: write a
+//! small concurrent program against [`thread`], [`sync::Mutex`],
+//! [`sync::Condvar`], and [`sync::atomic`], hand it to [`model`], and every
+//! interleaving (within a preemption bound) is executed. Assertion failures,
+//! panics, deadlocks (which is what a *lost wakeup* looks like under a
+//! spurious-wakeup-free condvar), and leaked threads all fail the check with
+//! the offending schedule attached.
+//!
+//! ```
+//! use loom::sync::{Arc, Mutex};
+//!
+//! loom::model(|| {
+//!     let m = Arc::new(Mutex::new(0));
+//!     let m2 = Arc::clone(&m);
+//!     let t = loom::thread::spawn(move || *m2.lock().unwrap() += 1);
+//!     *m.lock().unwrap() += 1;
+//!     t.join().unwrap();
+//!     assert_eq!(*m.lock().unwrap(), 2);
+//! });
+//! ```
+//!
+//! The memory model is sequential consistency (one thread runs at a time and
+//! every sync op is a scheduling point) — sound for `Mutex`/`Condvar`/SeqCst
+//! protocols like the rayon-shim worker pool this repo model-checks.
+
+mod scheduler;
+pub mod sync;
+pub mod thread;
+
+pub use scheduler::{explore, Config, Report};
+
+/// Explores `f` under every schedule within [`Config::default`]'s bounds
+/// (preemption bound 2). Panics on the first failing schedule.
+pub fn model<F>(f: F) -> Report
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    explore(Config::default(), f)
+}
+
+/// [`model`] with explicit bounds.
+pub fn model_with<F>(config: Config, f: F) -> Report
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    explore(config, f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::sync::atomic::AtomicUsize;
+    use super::sync::{Arc, Condvar, Mutex};
+    use super::*;
+    use std::sync::atomic::Ordering::SeqCst;
+
+    #[test]
+    fn sequential_model_runs_once() {
+        let report = model(|| {
+            assert_eq!(1 + 1, 2);
+        });
+        assert_eq!(report.iterations, 1);
+        assert!(report.exhaustive);
+    }
+
+    #[test]
+    fn mutex_counter_is_correct_under_all_schedules() {
+        let report = model(|| {
+            let m = Arc::new(Mutex::new(0usize));
+            let handles: Vec<_> = (0..2)
+                .map(|_| {
+                    let m = Arc::clone(&m);
+                    thread::spawn(move || {
+                        let mut g = m.lock().unwrap();
+                        *g += 1;
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            assert_eq!(*m.lock().unwrap(), 2);
+        });
+        assert!(report.iterations > 1, "expected multiple schedules");
+        assert!(report.exhaustive);
+    }
+
+    /// The point of the tool: a load/store race that a plain test would pass
+    /// with overwhelming probability is found deterministically.
+    #[test]
+    fn racy_read_modify_write_is_caught() {
+        let caught = std::panic::catch_unwind(|| {
+            model(|| {
+                let c = Arc::new(AtomicUsize::new(0));
+                let handles: Vec<_> = (0..2)
+                    .map(|_| {
+                        let c = Arc::clone(&c);
+                        thread::spawn(move || {
+                            // Non-atomic increment: load, then store.
+                            let v = c.load(SeqCst);
+                            c.store(v + 1, SeqCst);
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    h.join().unwrap();
+                }
+                assert_eq!(c.load(SeqCst), 2, "lost update");
+            });
+        });
+        let payload = caught.expect_err("the interleaved schedule must fail");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(msg.contains("lost update"), "unexpected failure: {msg}");
+    }
+
+    #[test]
+    fn fetch_add_fixes_the_race() {
+        model(|| {
+            let c = Arc::new(AtomicUsize::new(0));
+            let handles: Vec<_> = (0..2)
+                .map(|_| {
+                    let c = Arc::clone(&c);
+                    thread::spawn(move || {
+                        c.fetch_add(1, SeqCst);
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            assert_eq!(c.load(SeqCst), 2);
+        });
+    }
+
+    #[test]
+    fn condvar_handoff_has_no_lost_wakeup() {
+        // Correct wait loop: flag checked under the mutex. If the condvar
+        // protocol could lose the wakeup, the explorer would report deadlock.
+        model(|| {
+            let pair = Arc::new((Mutex::new(false), Condvar::new()));
+            let p2 = Arc::clone(&pair);
+            let t = thread::spawn(move || {
+                let (m, cv) = &*p2;
+                let mut ready = m.lock().unwrap();
+                *ready = true;
+                cv.notify_one();
+                drop(ready);
+            });
+            let (m, cv) = &*pair;
+            let mut ready = m.lock().unwrap();
+            while !*ready {
+                ready = cv.wait(ready).unwrap();
+            }
+            drop(ready);
+            t.join().unwrap();
+        });
+    }
+
+    #[test]
+    fn lost_wakeup_is_detected_as_deadlock() {
+        // Broken protocol: the readiness flag is checked *outside* the mutex
+        // that guards the condvar, so the notify can fire in the window
+        // between the check and the park — a classic lost wakeup. The
+        // explorer must find the schedule where the waiter parks forever.
+        let caught = std::panic::catch_unwind(|| {
+            model(|| {
+                let flag = Arc::new(AtomicUsize::new(0));
+                let pair = Arc::new((Mutex::new(()), Condvar::new()));
+                let f2 = Arc::clone(&flag);
+                let p2 = Arc::clone(&pair);
+                let t = thread::spawn(move || {
+                    f2.store(1, SeqCst);
+                    p2.1.notify_one();
+                });
+                if flag.load(SeqCst) == 0 {
+                    // BUG: the store+notify can land right here, while we
+                    // are not yet parked; nobody will ever wake us.
+                    let (m, cv) = &*pair;
+                    let g = m.lock().unwrap();
+                    let _g = cv.wait(g).unwrap();
+                }
+                t.join().unwrap();
+            });
+        });
+        let payload = caught.expect_err("the lost-wakeup schedule must deadlock");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(msg.contains("deadlock"), "unexpected failure: {msg}");
+    }
+
+    #[test]
+    fn leaked_thread_is_an_error() {
+        let caught = std::panic::catch_unwind(|| {
+            model(|| {
+                let pair = Arc::new((Mutex::new(false), Condvar::new()));
+                let p2 = Arc::clone(&pair);
+                // Never joined, parks forever: the model leaks it.
+                thread::spawn(move || {
+                    let (m, cv) = &*p2;
+                    let mut g = m.lock().unwrap();
+                    while !*g {
+                        g = cv.wait(g).unwrap();
+                    }
+                });
+            });
+        });
+        assert!(caught.is_err(), "leaking a thread must fail the model");
+    }
+
+    #[test]
+    fn panic_payload_is_delivered_through_join() {
+        model(|| {
+            let t = thread::spawn(|| panic!("boom"));
+            let err = t.join().expect_err("thread panicked");
+            let msg = err.downcast_ref::<&str>().copied().unwrap_or_default();
+            assert_eq!(msg, "boom");
+        });
+    }
+
+    #[test]
+    fn preemption_bound_caps_the_tree() {
+        let bounded = model_with(
+            Config {
+                preemption_bound: Some(0),
+                ..Config::default()
+            },
+            || {
+                let c = Arc::new(AtomicUsize::new(0));
+                let handles: Vec<_> = (0..2)
+                    .map(|_| {
+                        let c = Arc::clone(&c);
+                        thread::spawn(move || {
+                            c.fetch_add(1, SeqCst);
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    h.join().unwrap();
+                }
+            },
+        );
+        let unbounded = model_with(
+            Config {
+                preemption_bound: None,
+                ..Config::default()
+            },
+            || {
+                let c = Arc::new(AtomicUsize::new(0));
+                let handles: Vec<_> = (0..2)
+                    .map(|_| {
+                        let c = Arc::clone(&c);
+                        thread::spawn(move || {
+                            c.fetch_add(1, SeqCst);
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    h.join().unwrap();
+                }
+            },
+        );
+        assert!(bounded.iterations <= unbounded.iterations);
+        assert!(unbounded.exhaustive);
+    }
+}

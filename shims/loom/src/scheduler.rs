@@ -1,0 +1,432 @@
+//! The cooperative scheduler and the exhaustive schedule explorer.
+//!
+//! One *execution* runs the model program with real OS threads, but only one
+//! model thread is ever runnable at a time: every synchronization operation
+//! ([`Scheduler::switch`]) is a *decision point* where the scheduler picks
+//! which thread runs next. The choice sequence is the **schedule**; a run
+//! records, at each decision, how many choices existed and which was taken.
+//!
+//! Exploration is a depth-first walk of the schedule tree: after each run the
+//! deepest decision with an untried alternative is advanced and everything
+//! after it is discarded ([`Explorer::next_schedule`]). With a preemption
+//! bound `p`, a decision may switch away from a still-runnable thread only
+//! while fewer than `p` such preemptions happened earlier in the run — the
+//! classic CHESS-style bound that keeps the tree tractable while catching
+//! virtually all real interleaving bugs at `p = 2`.
+//!
+//! Because exactly one thread runs at a time and every shared access sits
+//! behind a decision point, the explored memory model is sequential
+//! consistency. That is sound for protocols built on `Mutex`/`Condvar` plus
+//! `SeqCst` atomics — which is exactly what the rayon-shim pool uses.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+
+/// Thrown (via `panic_any`) into model threads when the execution is being
+/// torn down early (another thread failed); the thread wrapper catches it.
+pub(crate) struct AbortExecution;
+
+/// Why a thread cannot run right now.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Blocked {
+    /// Waiting to acquire the model mutex with this id.
+    Mutex(usize),
+    /// Parked in `Condvar::wait` on the condvar with this id.
+    Condvar(usize),
+    /// Waiting for thread `tid` to finish.
+    Join(usize),
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum ThreadState {
+    Runnable,
+    Blocked(Blocked),
+    Finished,
+}
+
+/// One recorded decision: `chosen` out of `choices` allowed successors.
+#[derive(Clone, Copy, Debug)]
+struct Decision {
+    chosen: usize,
+    choices: usize,
+}
+
+pub(crate) struct SchedInner {
+    pub(crate) threads: Vec<ThreadState>,
+    /// The thread currently allowed to run.
+    active: usize,
+    /// Schedule prefix to replay (choice index at each decision).
+    replay: Vec<usize>,
+    cursor: usize,
+    trace: Vec<Decision>,
+    preemptions: usize,
+    preemption_bound: Option<usize>,
+    max_decisions: usize,
+    /// Set when any thread fails an assertion: the execution tears down.
+    pub(crate) failed: Option<String>,
+    aborting: bool,
+    /// Mutex states: `Some(tid)` = held.
+    pub(crate) mutexes: Vec<Option<usize>>,
+    /// Condvar wait queues (tids parked on each condvar).
+    pub(crate) cv_waiters: Vec<VecDeque<usize>>,
+}
+
+/// The per-execution scheduler. All blocking goes through `self.cv`, so an
+/// abort is one `notify_all` away from releasing every thread.
+pub struct Scheduler {
+    pub(crate) inner: Mutex<SchedInner>,
+    pub(crate) cv: Condvar,
+}
+
+fn lock_inner(s: &Scheduler) -> MutexGuard<'_, SchedInner> {
+    // A model thread that panics never holds this lock (all model-state
+    // operations are short and panic-free), but the wrapper's bookkeeping
+    // could race a poisoned flag; recover the guard either way.
+    s.inner.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+impl Scheduler {
+    pub(crate) fn new(preemption_bound: Option<usize>, max_decisions: usize) -> Arc<Scheduler> {
+        Arc::new(Scheduler {
+            inner: Mutex::new(SchedInner {
+                threads: Vec::new(),
+                active: 0,
+                replay: Vec::new(),
+                cursor: 0,
+                trace: Vec::new(),
+                preemptions: 0,
+                preemption_bound,
+                max_decisions,
+                failed: None,
+                aborting: false,
+                mutexes: Vec::new(),
+                cv_waiters: Vec::new(),
+            }),
+            cv: Condvar::new(),
+        })
+    }
+
+    pub(crate) fn set_replay(&self, replay: Vec<usize>) {
+        let mut inner = lock_inner(self);
+        inner.replay = replay;
+        inner.cursor = 0;
+    }
+
+    /// Registers a new model thread; returns its tid. Deterministic because
+    /// only one thread runs at a time.
+    pub(crate) fn register_thread(&self) -> usize {
+        let mut inner = lock_inner(self);
+        inner.threads.push(ThreadState::Runnable);
+        inner.threads.len() - 1
+    }
+
+    /// Registers a fresh mutex or condvar slot.
+    pub(crate) fn register_mutex(&self) -> usize {
+        let mut inner = lock_inner(self);
+        let id = inner.mutexes.len();
+        inner.mutexes.push(None);
+        id
+    }
+
+    pub(crate) fn register_condvar(&self) -> usize {
+        let mut inner = lock_inner(self);
+        let id = inner.cv_waiters.len();
+        inner.cv_waiters.push(VecDeque::new());
+        id
+    }
+
+    /// Blocks the calling real thread until the model makes `me` active.
+    pub(crate) fn wait_until_active(&self, me: usize) {
+        let mut inner = lock_inner(self);
+        while inner.active != me || inner.threads[me] != ThreadState::Runnable {
+            if inner.aborting {
+                drop(inner);
+                std::panic::panic_any(AbortExecution);
+            }
+            inner = self.cv.wait(inner).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// The decision point: optionally updates `me`'s state, then picks and
+    /// wakes the next thread. If `me` stays runnable it may keep running
+    /// (no preemption) or be preempted, budget permitting.
+    pub(crate) fn switch(&self, me: usize, new_state: Option<ThreadState>) {
+        let mut inner = lock_inner(self);
+        if inner.aborting {
+            drop(inner);
+            std::panic::panic_any(AbortExecution);
+        }
+        if let Some(s) = new_state {
+            inner.threads[me] = s;
+        }
+        let runnable: Vec<usize> = (0..inner.threads.len())
+            .filter(|&t| inner.threads[t] == ThreadState::Runnable)
+            .collect();
+        if runnable.is_empty() {
+            let all_done = inner.threads.iter().all(|s| *s == ThreadState::Finished);
+            if !all_done {
+                let states: Vec<String> = inner
+                    .threads
+                    .iter()
+                    .enumerate()
+                    .map(|(t, s)| format!("t{t}:{s:?}"))
+                    .collect();
+                inner.failed.get_or_insert(format!(
+                    "deadlock: no runnable thread (lost wakeup?) — {}",
+                    states.join(", ")
+                ));
+                inner.aborting = true;
+                self.cv.notify_all();
+                drop(inner);
+                std::panic::panic_any(AbortExecution);
+            }
+            return; // last thread finishing; nothing to schedule
+        }
+
+        // The choice set: under an exhausted preemption budget a still-
+        // runnable current thread must continue.
+        let me_runnable = inner.threads[me] == ThreadState::Runnable;
+        let budget_left = inner.preemption_bound.is_none_or(|b| inner.preemptions < b);
+        let choices: Vec<usize> = if me_runnable && !budget_left {
+            vec![me]
+        } else {
+            runnable.clone()
+        };
+
+        if inner.trace.len() >= inner.max_decisions {
+            let cap = inner.max_decisions;
+            inner.failed.get_or_insert(format!(
+                "schedule exceeded {cap} decisions (runaway model?)"
+            ));
+            inner.aborting = true;
+            self.cv.notify_all();
+            drop(inner);
+            std::panic::panic_any(AbortExecution);
+        }
+
+        let pick = if inner.cursor < inner.replay.len() {
+            let p = inner.replay[inner.cursor].min(choices.len() - 1);
+            inner.cursor += 1;
+            p
+        } else {
+            // Default: keep the current thread when possible (depth-first
+            // explores the no-preemption schedule first).
+            inner.cursor += 1;
+            choices.iter().position(|&t| t == me).unwrap_or(0)
+        };
+        let next = choices[pick];
+        let preemptive = me_runnable && next != me;
+        if preemptive {
+            inner.preemptions += 1;
+        }
+        // Alternatives at this decision are the other choices, but only those
+        // reachable within the preemption budget.
+        let alternatives = if me_runnable
+            && inner
+                .preemption_bound
+                .is_some_and(|b| inner.preemptions >= b && next == me)
+        {
+            // Already at the bound and continuing: switching away would
+            // exceed it, so this decision has one real choice.
+            1
+        } else {
+            choices.len()
+        };
+        inner.trace.push(Decision {
+            chosen: pick,
+            choices: alternatives,
+        });
+        inner.active = next;
+        let me_finished = inner.threads[me] == ThreadState::Finished;
+        self.cv.notify_all();
+        drop(inner);
+        // A finished thread hands off and returns — it can never become
+        // active again, so waiting would park its OS thread forever.
+        if next != me && !me_finished {
+            self.wait_until_active(me);
+        }
+    }
+
+    /// Marks `me` finished, wakes joiners, schedules a successor.
+    pub(crate) fn finish_thread(&self, me: usize) {
+        {
+            let mut inner = lock_inner(self);
+            inner.threads[me] = ThreadState::Finished;
+            for t in 0..inner.threads.len() {
+                if inner.threads[t] == ThreadState::Blocked(Blocked::Join(me)) {
+                    inner.threads[t] = ThreadState::Runnable;
+                }
+            }
+        }
+        self.switch(me, None);
+    }
+
+    /// After the root closure returns: verifies every spawned thread was
+    /// joined (a model must have a shutdown story) and reports any failure.
+    fn finish_execution(&self) -> Result<Vec<Decision>, String> {
+        let mut inner = lock_inner(self);
+        if let Some(why) = inner.failed.take() {
+            inner.aborting = true;
+            self.cv.notify_all();
+            return Err(why);
+        }
+        let leaked: Vec<usize> = (0..inner.threads.len())
+            .filter(|&t| inner.threads[t] != ThreadState::Finished)
+            .collect();
+        if !leaked.is_empty() {
+            inner.aborting = true;
+            self.cv.notify_all();
+            return Err(format!(
+                "model leaked threads {leaked:?}: every spawned thread must be joined \
+                 (model an explicit shutdown path)"
+            ));
+        }
+        Ok(inner.trace.clone())
+    }
+}
+
+thread_local! {
+    /// The (scheduler, tid) of the current model thread, if any.
+    pub(crate) static CURRENT: std::cell::RefCell<Option<(Arc<Scheduler>, usize)>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// The current model context; panics outside `loom::model`.
+pub(crate) fn current() -> (Arc<Scheduler>, usize) {
+    CURRENT.with(|c| {
+        c.borrow()
+            .clone()
+            .expect("loom primitives may only be used inside loom::model")
+    })
+}
+
+/// Exploration limits.
+#[derive(Clone, Copy, Debug)]
+pub struct Config {
+    /// Max schedules to explore before giving up (a completed DFS below this
+    /// bound is an exhaustive proof within the preemption bound).
+    pub max_iterations: usize,
+    /// CHESS-style preemption bound; `None` explores every interleaving.
+    pub preemption_bound: Option<usize>,
+    /// Per-run decision cap (guards against non-terminating models).
+    pub max_decisions: usize,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            max_iterations: 100_000,
+            preemption_bound: Some(2),
+            max_decisions: 10_000,
+        }
+    }
+}
+
+/// What an exploration did.
+#[derive(Clone, Copy, Debug)]
+pub struct Report {
+    /// Schedules executed.
+    pub iterations: usize,
+    /// True when the schedule tree was fully explored (within the bounds).
+    pub exhaustive: bool,
+}
+
+/// Runs `f` under every schedule (within `config`'s bounds). Panics on the
+/// first failing schedule, with the decision trace in the message.
+pub fn explore<F>(config: Config, f: F) -> Report
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let f = Arc::new(f);
+    let mut replay: Vec<usize> = Vec::new();
+    let mut iterations = 0usize;
+
+    loop {
+        iterations += 1;
+        let sched = Scheduler::new(config.preemption_bound, config.max_decisions);
+        sched.set_replay(replay.clone());
+
+        // The root model thread (tid 0).
+        let root_tid = sched.register_thread();
+        debug_assert_eq!(root_tid, 0);
+        let sched_root = Arc::clone(&sched);
+        let f_run = Arc::clone(&f);
+        let root = std::thread::spawn(move || {
+            CURRENT.with(|c| *c.borrow_mut() = Some((Arc::clone(&sched_root), 0)));
+            let out = catch_unwind(AssertUnwindSafe(|| f_run()));
+            CURRENT.with(|c| *c.borrow_mut() = None);
+            match out {
+                Ok(()) => {
+                    // finish_thread can raise AbortExecution when it detects
+                    // a deadlock among the remaining threads; absorb it so
+                    // the explorer sees the recorded failure, not a panic.
+                    let _ = catch_unwind(AssertUnwindSafe(|| sched_root.finish_thread(0)));
+                }
+                Err(payload) => {
+                    if !payload.is::<AbortExecution>() {
+                        let why = payload
+                            .downcast_ref::<&str>()
+                            .map(|s| s.to_string())
+                            .or_else(|| payload.downcast_ref::<String>().cloned())
+                            .unwrap_or_else(|| "model thread panicked".to_string());
+                        let mut inner = sched_root
+                            .inner
+                            .lock()
+                            .unwrap_or_else(PoisonError::into_inner);
+                        inner.failed.get_or_insert(why);
+                        inner.aborting = true;
+                        sched_root.cv.notify_all();
+                        drop(inner);
+                    }
+                    // Mark finished so the run can wind down.
+                    let mut inner = sched_root
+                        .inner
+                        .lock()
+                        .unwrap_or_else(PoisonError::into_inner);
+                    inner.threads[0] = ThreadState::Finished;
+                    sched_root.cv.notify_all();
+                }
+            }
+        });
+        root.join().expect("root wrapper never unwinds");
+
+        let outcome = sched.finish_execution();
+        let trace = match outcome {
+            Ok(trace) => trace,
+            Err(why) => {
+                panic!(
+                    "loom: schedule {iterations} failed: {why}\n  schedule: {:?}",
+                    replay
+                );
+            }
+        };
+
+        // Depth-first backtrack: advance the deepest decision with an
+        // untried alternative.
+        let mut next: Option<Vec<usize>> = None;
+        for d in (0..trace.len()).rev() {
+            if trace[d].chosen + 1 < trace[d].choices {
+                let mut r: Vec<usize> = trace[..d].iter().map(|x| x.chosen).collect();
+                r.push(trace[d].chosen + 1);
+                next = Some(r);
+                break;
+            }
+        }
+        match next {
+            Some(r) if iterations < config.max_iterations => replay = r,
+            Some(_) => {
+                return Report {
+                    iterations,
+                    exhaustive: false,
+                }
+            }
+            None => {
+                return Report {
+                    iterations,
+                    exhaustive: true,
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,307 @@
+//! Model `Mutex`, `Condvar`, and `SeqCst` atomics.
+//!
+//! Because the scheduler serializes model threads, the *data* can live in
+//! ordinary `std` containers — contention never happens at the OS level, only
+//! in the model's bookkeeping. What the explorer varies is *when* each
+//! acquire/wait/notify/load/store happens relative to other threads.
+
+pub use std::sync::Arc;
+
+use crate::scheduler::{current, Blocked, ThreadState};
+use std::cell::UnsafeCell;
+use std::sync::{Mutex as StdMutex, PoisonError};
+
+/// Model mutex. Lock acquisition order is explored by the scheduler; the
+/// guarded data sits in a std mutex that is always uncontended.
+pub struct Mutex<T> {
+    id: StdMutex<Option<usize>>,
+    data: StdMutex<T>,
+}
+
+/// Guard returned by [`Mutex::lock`]; releases (and schedules) on drop.
+pub struct MutexGuard<'a, T> {
+    mutex: &'a Mutex<T>,
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+}
+
+impl<T> Mutex<T> {
+    pub fn new(value: T) -> Self {
+        Mutex {
+            id: StdMutex::new(None),
+            data: StdMutex::new(value),
+        }
+    }
+
+    fn id(&self) -> usize {
+        let mut slot = self.id.lock().unwrap_or_else(PoisonError::into_inner);
+        match *slot {
+            Some(id) => id,
+            None => {
+                let (sched, _) = current();
+                let id = sched.register_mutex();
+                *slot = Some(id);
+                id
+            }
+        }
+    }
+
+    /// Acquires the model lock, blocking (in model time) while held.
+    /// Returns `Ok` always; the signature mirrors `std` for drop-in use.
+    pub fn lock(&self) -> Result<MutexGuard<'_, T>, std::convert::Infallible> {
+        let id = self.id();
+        let (sched, me) = current();
+        loop {
+            {
+                let mut inner = sched.inner.lock().unwrap_or_else(PoisonError::into_inner);
+                if inner.mutexes[id].is_none() {
+                    inner.mutexes[id] = Some(me);
+                    drop(inner);
+                    // Acquisition is a visible event: decision point.
+                    sched.switch(me, None);
+                    let guard = self.data.lock().unwrap_or_else(PoisonError::into_inner);
+                    return Ok(MutexGuard {
+                        mutex: self,
+                        inner: Some(guard),
+                    });
+                }
+            }
+            sched.switch(me, Some(ThreadState::Blocked(Blocked::Mutex(id))));
+        }
+    }
+}
+
+impl<T> MutexGuard<'_, T> {
+    fn release(&mut self) {
+        self.inner = None;
+        let id = self.mutex.id();
+        let (sched, me) = current();
+        {
+            let mut inner = sched.inner.lock().unwrap_or_else(PoisonError::into_inner);
+            inner.mutexes[id] = None;
+            // Wake every acquirer; they re-contend under the explorer.
+            for t in 0..inner.threads.len() {
+                if inner.threads[t] == ThreadState::Blocked(Blocked::Mutex(id)) {
+                    inner.threads[t] = ThreadState::Runnable;
+                }
+            }
+        }
+        sched.switch(me, None);
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        if self.inner.is_some() {
+            self.release();
+        }
+    }
+}
+
+impl<T> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard released")
+    }
+}
+
+impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard released")
+    }
+}
+
+/// Model condvar with the std contract: `wait` atomically releases the mutex
+/// and parks; wakeups require a `notify_*` (spurious wakeups are *not*
+/// modeled, so a lost wakeup manifests as a detected deadlock).
+pub struct Condvar {
+    id: StdMutex<Option<usize>>,
+}
+
+impl Default for Condvar {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Condvar {
+    pub fn new() -> Self {
+        Condvar {
+            id: StdMutex::new(None),
+        }
+    }
+
+    fn id(&self) -> usize {
+        let mut slot = self.id.lock().unwrap_or_else(PoisonError::into_inner);
+        match *slot {
+            Some(id) => id,
+            None => {
+                let (sched, _) = current();
+                let id = sched.register_condvar();
+                *slot = Some(id);
+                id
+            }
+        }
+    }
+
+    /// Parks the current thread, releasing `guard`'s mutex atomically (in
+    /// model time: no decision point separates release from parking).
+    pub fn wait<'a, T>(
+        &self,
+        mut guard: MutexGuard<'a, T>,
+    ) -> Result<MutexGuard<'a, T>, std::convert::Infallible> {
+        let cv_id = self.id();
+        let mutex = guard.mutex;
+        let mutex_id = mutex.id();
+        let (sched, me) = current();
+        // Atomically: drop the data guard, mark the mutex free, enqueue on
+        // the condvar — all under one scheduler lock, then block.
+        guard.inner = None;
+        std::mem::forget(guard);
+        {
+            let mut inner = sched.inner.lock().unwrap_or_else(PoisonError::into_inner);
+            inner.mutexes[mutex_id] = None;
+            for t in 0..inner.threads.len() {
+                if inner.threads[t] == ThreadState::Blocked(Blocked::Mutex(mutex_id)) {
+                    inner.threads[t] = ThreadState::Runnable;
+                }
+            }
+            inner.cv_waiters[cv_id].push_back(me);
+        }
+        sched.switch(me, Some(ThreadState::Blocked(Blocked::Condvar(cv_id))));
+        // Woken: reacquire the mutex (contending like any other thread).
+        mutex.lock()
+    }
+
+    /// Wakes one waiter (the longest-parked, FIFO like parking-lot queues).
+    pub fn notify_one(&self) {
+        let cv_id = self.id();
+        let (sched, me) = current();
+        {
+            let mut inner = sched.inner.lock().unwrap_or_else(PoisonError::into_inner);
+            if let Some(t) = inner.cv_waiters[cv_id].pop_front() {
+                inner.threads[t] = ThreadState::Runnable;
+            }
+        }
+        sched.switch(me, None);
+    }
+
+    /// Wakes every waiter.
+    pub fn notify_all(&self) {
+        let cv_id = self.id();
+        let (sched, me) = current();
+        {
+            let mut inner = sched.inner.lock().unwrap_or_else(PoisonError::into_inner);
+            while let Some(t) = inner.cv_waiters[cv_id].pop_front() {
+                inner.threads[t] = ThreadState::Runnable;
+            }
+        }
+        sched.switch(me, None);
+    }
+}
+
+pub mod atomic {
+    //! `SeqCst` atomics: every load/store/rmw is a scheduler decision point,
+    //! which under serialization is exactly sequential consistency.
+
+    use super::UnsafeCell;
+    use crate::scheduler::current;
+    use std::sync::atomic::Ordering;
+
+    /// Model `AtomicUsize`. Orderings are accepted for signature parity but
+    /// all operations behave as `SeqCst` (the strongest, so any bug found is
+    /// real; bugs that *require* weaker orderings are out of scope).
+    pub struct AtomicUsize {
+        v: UnsafeCell<usize>,
+    }
+
+    // SAFETY: every access to `v` happens on the single scheduler-active
+    // thread, bracketed by decision points; no two model threads touch it
+    // concurrently, which is the data-race freedom Sync requires here.
+    unsafe impl Sync for AtomicUsize {}
+    // SAFETY: usize is Send; the cell adds no thread affinity.
+    unsafe impl Send for AtomicUsize {}
+
+    impl AtomicUsize {
+        pub fn new(v: usize) -> Self {
+            AtomicUsize {
+                v: UnsafeCell::new(v),
+            }
+        }
+
+        fn with<R>(&self, f: impl FnOnce(&mut usize) -> R) -> R {
+            let (sched, me) = current();
+            // Decision point *before* the access: the explorer may interleave
+            // another thread between intent and effect of neighboring ops.
+            sched.switch(me, None);
+            // SAFETY: single active thread (see Sync impl above).
+            f(unsafe { &mut *self.v.get() })
+        }
+
+        pub fn load(&self, _order: Ordering) -> usize {
+            self.with(|v| *v)
+        }
+
+        pub fn store(&self, val: usize, _order: Ordering) {
+            self.with(|v| *v = val);
+        }
+
+        pub fn fetch_add(&self, val: usize, _order: Ordering) -> usize {
+            self.with(|v| {
+                let old = *v;
+                *v = old.wrapping_add(val);
+                old
+            })
+        }
+
+        pub fn fetch_sub(&self, val: usize, _order: Ordering) -> usize {
+            self.with(|v| {
+                let old = *v;
+                *v = old.wrapping_sub(val);
+                old
+            })
+        }
+
+        pub fn compare_exchange(
+            &self,
+            expect: usize,
+            new: usize,
+            _ok: Ordering,
+            _err: Ordering,
+        ) -> Result<usize, usize> {
+            self.with(|v| {
+                if *v == expect {
+                    *v = new;
+                    Ok(expect)
+                } else {
+                    Err(*v)
+                }
+            })
+        }
+    }
+
+    /// Model `AtomicBool`, built on the same single-active-thread argument.
+    pub struct AtomicBool {
+        v: super::Mutex<bool>,
+    }
+
+    impl AtomicBool {
+        pub fn new(v: bool) -> Self {
+            AtomicBool {
+                v: super::Mutex::new(v),
+            }
+        }
+
+        pub fn load(&self, _order: Ordering) -> bool {
+            *self.v.lock().unwrap_or_else(|e| match e {})
+        }
+
+        pub fn store(&self, val: bool, _order: Ordering) {
+            *self.v.lock().unwrap_or_else(|e| match e {}) = val;
+        }
+
+        pub fn swap(&self, val: bool, _order: Ordering) -> bool {
+            let mut g = self.v.lock().unwrap_or_else(|e| match e {});
+            std::mem::replace(&mut *g, val)
+        }
+    }
+}

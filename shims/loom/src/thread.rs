@@ -1,0 +1,113 @@
+//! Model threads: real OS threads driven cooperatively by the scheduler.
+
+use crate::scheduler::{current, AbortExecution, Blocked, Scheduler, ThreadState, CURRENT};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Mutex, PoisonError};
+
+type Payload = Box<dyn std::any::Any + Send + 'static>;
+
+struct JoinShared<T> {
+    result: Mutex<Option<Result<T, Payload>>>,
+}
+
+/// Handle to a spawned model thread. Every spawned thread **must** be joined
+/// before the model closure returns — a leaked thread fails the execution
+/// (models are required to have an explicit shutdown path).
+pub struct JoinHandle<T> {
+    tid: usize,
+    shared: Arc<JoinShared<T>>,
+    os: Option<std::thread::JoinHandle<()>>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Blocks (in model time) until the thread finishes; returns its result
+    /// or the panic payload, mirroring `std::thread::JoinHandle::join`.
+    pub fn join(mut self) -> Result<T, Payload> {
+        let (sched, me) = current();
+        loop {
+            let done = {
+                let inner = sched.inner.lock().unwrap_or_else(PoisonError::into_inner);
+                inner.threads[self.tid] == ThreadState::Finished
+            };
+            if done {
+                break;
+            }
+            sched.switch(me, Some(ThreadState::Blocked(Blocked::Join(self.tid))));
+        }
+        if let Some(os) = self.os.take() {
+            let _ = os.join();
+        }
+        self.shared
+            .result
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .take()
+            .expect("joined thread left no result")
+    }
+}
+
+/// Spawns a model thread. The closure runs under the schedule explorer; all
+/// its synchronization must go through `loom` primitives.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let (sched, me) = current();
+    let tid = sched.register_thread();
+    let shared = Arc::new(JoinShared {
+        result: Mutex::new(None),
+    });
+    let shared2 = Arc::clone(&shared);
+    let sched2: Arc<Scheduler> = Arc::clone(&sched);
+    let os = std::thread::spawn(move || {
+        CURRENT.with(|c| *c.borrow_mut() = Some((Arc::clone(&sched2), tid)));
+        // A freshly spawned thread waits for the scheduler to pick it; an
+        // abort during teardown raises AbortExecution, which we absorb.
+        let started = catch_unwind(AssertUnwindSafe(|| sched2.wait_until_active(tid)));
+        let out = if started.is_ok() {
+            Some(catch_unwind(AssertUnwindSafe(f)))
+        } else {
+            None
+        };
+        CURRENT.with(|c| *c.borrow_mut() = None);
+        match out {
+            Some(Ok(v)) => {
+                *shared2
+                    .result
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner) = Some(Ok(v));
+                let _ = catch_unwind(AssertUnwindSafe(|| sched2.finish_thread(tid)));
+            }
+            Some(Err(payload)) if !payload.is::<AbortExecution>() => {
+                // A model thread's panic is part of the modeled protocol
+                // (the pool propagates payloads); deliver it via join.
+                *shared2
+                    .result
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner) = Some(Err(payload));
+                let _ = catch_unwind(AssertUnwindSafe(|| sched2.finish_thread(tid)));
+            }
+            _ => {
+                // Teardown: record finished without scheduling further.
+                let mut inner = sched2.inner.lock().unwrap_or_else(PoisonError::into_inner);
+                inner.threads[tid] = ThreadState::Finished;
+                sched2.cv.notify_all();
+            }
+        }
+    });
+    // Spawning is itself a visible event: give the explorer a decision point
+    // so the child may run before the parent's next step.
+    sched.switch(me, None);
+    JoinHandle {
+        tid,
+        shared,
+        os: Some(os),
+    }
+}
+
+/// A pure scheduling point: lets the explorer preempt here.
+pub fn yield_now() {
+    let (sched, me) = current();
+    sched.switch(me, None);
+}
